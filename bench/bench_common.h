@@ -1,0 +1,27 @@
+// Shared helpers for the bench binaries (experiments E1..E11; see DESIGN.md
+// section 5 for the experiment index and EXPERIMENTS.md for results).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+#include "core/scheme.h"
+
+namespace mdw::bench {
+
+inline std::string S(core::Scheme s) {
+  return std::string(core::scheme_name(s));
+}
+
+inline void banner(const char* exp_id, const char* what) {
+  std::printf("==============================================================="
+              "=\n%s — %s\n(all latencies in 5 ns network cycles)\n"
+              "==============================================================="
+              "=\n\n",
+              exp_id, what);
+}
+
+} // namespace mdw::bench

@@ -1,0 +1,77 @@
+// E12 (extension; paper §2: "variations of this sequence of steps are used
+// to support other consistency models like release consistency [1]"):
+// sequential consistency vs release-consistency-style eager exclusive
+// grants, across schemes — writer-visible latency and application impact.
+#include "bench_common.h"
+
+#include "workload/apps.h"
+#include "workload/trace_runner.h"
+
+using namespace mdw;
+
+int main() {
+  bench::banner("E12 (extension)", "sequential vs release consistency: "
+                                   "writer-visible write latency and "
+                                   "application execution time");
+
+  std::printf("--- write latency with d sharers (16x16 mesh, mean of 8) ---\n");
+  {
+    analysis::Table t({"scheme", "d", "SC write lat", "RC write lat",
+                       "hidden (cyc)"});
+    for (core::Scheme s : {core::Scheme::UiUa, core::Scheme::EcCmHg,
+                           core::Scheme::WfP2Sg}) {
+      for (int d : {8, 32}) {
+        analysis::InvalExperimentConfig cfg;
+        cfg.mesh = 16;
+        cfg.scheme = s;
+        cfg.d = d;
+        cfg.repetitions = 8;
+        cfg.seed = 31 + d;
+        const auto sc = analysis::measure_invalidations(cfg);
+        cfg.base.eager_exclusive_reply = true;
+        const auto rc = analysis::measure_invalidations(cfg);
+        t.add_row({bench::S(s), std::to_string(d),
+                   analysis::Table::num(sc.write_latency),
+                   analysis::Table::num(rc.write_latency),
+                   analysis::Table::num(sc.write_latency - rc.write_latency)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("\n--- APSP, 64 vertices, 16 processors ---\n");
+  {
+    const workload::Trace trace = workload::apsp_trace(16, 64, 42);
+    analysis::Table t({"scheme", "SC cycles", "RC cycles", "speedup"});
+    for (core::Scheme s : {core::Scheme::UiUa, core::Scheme::EcCmHg}) {
+      Cycle sc_cycles = 0, rc_cycles = 0;
+      for (bool eager : {false, true}) {
+        dsm::SystemParams p;
+        p.mesh_w = p.mesh_h = 4;
+        p.scheme = s;
+        p.eager_exclusive_reply = eager;
+        dsm::Machine m(p);
+        workload::TraceRunner runner(m, trace);
+        const auto r = runner.run();
+        if (!r.completed) {
+          std::fprintf(stderr, "replay failed\n");
+          return 1;
+        }
+        (eager ? rc_cycles : sc_cycles) = r.cycles;
+      }
+      t.add_row({bench::S(s), analysis::Table::integer(sc_cycles),
+                 analysis::Table::integer(rc_cycles),
+                 analysis::Table::num(
+                     static_cast<double>(sc_cycles) /
+                         static_cast<double>(rc_cycles),
+                     3)});
+    }
+    t.print(std::cout);
+  }
+  std::printf("\nExpected shape: RC hides most of the invalidation round "
+              "trip from the writer, shrinking the UI-UA/MI-MA *latency* gap "
+              "— but the message, traffic, and occupancy gaps remain, which "
+              "is the paper's point that the mechanism helps under any "
+              "consistency model.\n");
+  return 0;
+}

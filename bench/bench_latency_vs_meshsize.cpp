@@ -1,0 +1,34 @@
+// E4: scalability — invalidation latency vs mesh size at proportional
+// sharing (d = k on a k x k mesh).
+#include "bench_common.h"
+
+using namespace mdw;
+
+int main() {
+  bench::banner("E4", "invalidation latency vs mesh size (d = k sharers, "
+                      "uniform pattern, mean of 8 transactions)");
+
+  std::vector<std::string> headers{"mesh", "d"};
+  for (core::Scheme s : core::kAllSchemes) headers.push_back(bench::S(s));
+  analysis::Table t(headers);
+
+  for (int k : {4, 8, 12, 16}) {
+    std::vector<std::string> row{std::to_string(k) + "x" + std::to_string(k),
+                                 std::to_string(k)};
+    for (core::Scheme s : core::kAllSchemes) {
+      analysis::InvalExperimentConfig cfg;
+      cfg.mesh = k;
+      cfg.scheme = s;
+      cfg.d = k;
+      cfg.repetitions = 8;
+      cfg.seed = 77 + k;
+      const auto m = analysis::measure_invalidations(cfg);
+      row.push_back(analysis::Table::num(m.inval_latency));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::printf("\nExpected shape: the UI-UA/MI-MA gap widens with system size "
+              "(longer unicast fan-out, worse hot-spotting at the home).\n");
+  return 0;
+}

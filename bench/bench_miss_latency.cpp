@@ -1,0 +1,127 @@
+// E1 + E2 (paper Tables 4 and 5): derived memory-access latencies in 5 ns
+// cycles, and the component breakdown of a clean read miss to a
+// neighbouring node — the calibration the paper validates against DASH [26],
+// Alewife [8], and FLASH [17] measurements.
+#include "bench_common.h"
+
+#include "dsm/machine.h"
+
+using namespace mdw;
+
+namespace {
+
+/// Measure one processor operation's latency on a fresh machine.
+Cycle probe(dsm::SystemParams p, NodeId requester, BlockAddr addr, bool write,
+            int pre_sharers = 0, NodeId pre_owner = kInvalidNode) {
+  dsm::Machine m(p);
+  // Optional pre-state: sharers or a remote owner.
+  for (int i = 0; i < pre_sharers; ++i) {
+    const NodeId s = static_cast<NodeId>((requester + 2 + i) % m.num_nodes());
+    bool done = false;
+    m.node(s).read(addr, [&](std::uint64_t) { done = true; });
+    m.engine().run_until([&] { return done; }, 1'000'000);
+  }
+  if (pre_owner != kInvalidNode) {
+    bool done = false;
+    m.node(pre_owner).write(addr, 1, [&] { done = true; });
+    m.engine().run_until([&] { return done; }, 1'000'000);
+  }
+  m.engine().run_to_quiescence(100'000);
+
+  bool done = false;
+  Cycle lat = 0;
+  const Cycle t0 = m.engine().now();
+  if (write) {
+    m.node(requester).write(addr, 2, [&] {
+      lat = m.engine().now() - t0;
+      done = true;
+    });
+  } else {
+    m.node(requester).read(addr, [&](std::uint64_t) {
+      lat = m.engine().now() - t0;
+      done = true;
+    });
+  }
+  m.engine().run_until([&] { return done; }, 1'000'000);
+  return lat;
+}
+
+} // namespace
+
+int main() {
+  bench::banner("E1 (Table 4)", "derived typical memory access latencies");
+
+  dsm::SystemParams p;
+  p.mesh_w = p.mesh_h = 8;
+  p.scheme = core::Scheme::UiUa;
+
+  const noc::MeshShape mesh(8, 8);
+  const NodeId center = mesh.id_of({3, 3});
+  const NodeId neighbor = mesh.id_of({4, 3});
+  const NodeId corner = mesh.id_of({7, 7});
+
+  analysis::Table t({"operation", "cycles", "ns"});
+  auto row = [&](const char* name, Cycle c) {
+    t.add_row({name, analysis::Table::integer(c),
+               analysis::Table::integer(c * 5)});
+  };
+
+  // Cache hit: issue twice, the second is a hit.
+  {
+    dsm::Machine m(p);
+    bool done = false;
+    m.node(center).read(100, [&](std::uint64_t) { done = true; });
+    m.engine().run_until([&] { return done; }, 1'000'000);
+    done = false;
+    Cycle lat = 0;
+    const Cycle t0 = m.engine().now();
+    m.node(center).read(100, [&](std::uint64_t) {
+      lat = m.engine().now() - t0;
+      done = true;
+    });
+    m.engine().run_until([&] { return done; }, 1'000'000);
+    row("read hit (local cache)", lat);
+  }
+  // Block homed at `neighbor`: addr % 64 == neighbor.
+  row("clean read miss, home = neighbour", probe(p, center, neighbor, false));
+  row("clean read miss, home = far corner", probe(p, center, corner, false));
+  row("read miss, dirty at third node",
+      probe(p, center, neighbor, false, 0, corner));
+  row("write miss, uncached", probe(p, center, neighbor, true));
+  row("write miss, 4 sharers", probe(p, center, neighbor, true, 4));
+  row("write miss, 16 sharers", probe(p, center, neighbor, true, 16));
+  row("write after write (recall)",
+      probe(p, center, neighbor, true, 0, corner));
+  t.print(std::cout);
+
+  std::printf("\n");
+  bench::banner("E2 (Table 5)",
+                "clean read miss to neighbouring node: component breakdown");
+  analysis::Table b({"component", "cycles"});
+  const Cycle total = probe(p, center, neighbor, false);
+  b.add_row({"L1 access (detect miss)", analysis::Table::integer(p.cache_access)});
+  b.add_row({"compose + launch ReadReq (OC)",
+             analysis::Table::integer(p.send_occupancy)});
+  b.add_row({"request worm, 1 hop",
+             analysis::Table::integer(
+                 static_cast<std::uint64_t>(p.noc.router_delay + 1) * 2 +
+                 static_cast<std::uint64_t>(p.sizing.control_size(1)))});
+  b.add_row({"DC receive + directory lookup",
+             analysis::Table::integer(p.recv_occupancy + p.dir_lookup)});
+  b.add_row({"memory block access", analysis::Table::integer(p.mem_access)});
+  b.add_row({"compose + launch ReadReply (OC)",
+             analysis::Table::integer(p.send_occupancy)});
+  b.add_row({"data worm, 1 hop",
+             analysis::Table::integer(
+                 static_cast<std::uint64_t>(p.noc.router_delay + 1) * 2 +
+                 static_cast<std::uint64_t>(p.sizing.data_flits))});
+  b.add_row({"CC receive + install",
+             analysis::Table::integer(p.recv_occupancy + p.cache_access)});
+  b.add_row({"measured end-to-end", analysis::Table::integer(total)});
+  b.print(std::cout);
+  std::printf("\nThe paper reports its version of this breakdown as 'very "
+              "comparable' with DASH/Alewife hardware measurements (~100-150 "
+              "proc cycles for a clean remote miss); at 2 network cycles per "
+              "100 MHz processor cycle this lands in the same band.\n");
+  return 0;
+}

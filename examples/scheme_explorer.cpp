@@ -1,0 +1,100 @@
+// Scheme explorer: visualize what the invalidation planner does.
+//
+// Renders the request-phase worm paths (and gather worm paths) that each
+// grouping scheme generates for a sharer pattern, as ASCII mesh diagrams.
+//
+//   $ ./scheme_explorer [mesh] [d] [seed] [scheme]
+//   $ ./scheme_explorer 8 10 3 EC-CM-HG
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/inval_planner.h"
+#include "workload/synthetic.h"
+
+using namespace mdw;
+
+namespace {
+
+void render(const noc::MeshShape& mesh, NodeId home,
+            const std::vector<NodeId>& sharers,
+            const std::vector<NodeId>& path, char mark,
+            const char* title) {
+  std::printf("  %s (%zu hops)\n", title, path.size() - 1);
+  std::vector<char> grid(static_cast<std::size_t>(mesh.num_nodes()), '.');
+  for (std::size_t i = 0; i < path.size(); ++i) grid[path[i]] = mark;
+  for (NodeId s : sharers) {
+    grid[s] = grid[s] == mark ? 'X' : 's';  // X: sharer on the path
+  }
+  grid[home] = 'H';
+  grid[path.front()] = grid[path.front()] == 'H' ? 'H' : 'o';  // origin
+  for (int y = mesh.height() - 1; y >= 0; --y) {
+    std::printf("    ");
+    for (int x = 0; x < mesh.width(); ++x) {
+      std::printf("%c ", grid[mesh.id_of({x, y})]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+core::Scheme parse_scheme(const char* name) {
+  for (core::Scheme s : core::kAllSchemes) {
+    if (core::scheme_name(s) == std::string(name)) return s;
+  }
+  std::fprintf(stderr, "unknown scheme '%s'; valid:", name);
+  for (core::Scheme s : core::kAllSchemes) {
+    std::fprintf(stderr, " %s", std::string(core::scheme_name(s)).c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(1);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const int k = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int d = argc > 2 ? std::atoi(argv[2]) : 10;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+  const bool one_scheme = argc > 4;
+
+  const noc::MeshShape mesh(k, k);
+  sim::Rng rng(seed);
+  const auto home = static_cast<NodeId>(rng.next_below(mesh.num_nodes()));
+  const auto sharers = workload::make_sharers(
+      rng, mesh, home, home, d, workload::SharerPattern::Uniform);
+
+  std::printf("mesh %dx%d, home H at %s, %d sharers (s); legend: * request "
+              "worm path, ~ gather worm path, X sharer on path, o worm "
+              "origin\n\n",
+              k, k, mesh.to_string(home).c_str(), d);
+
+  for (core::Scheme s : core::kAllSchemes) {
+    if (one_scheme && s != parse_scheme(argv[4])) continue;
+    const auto plan = core::plan_invalidation(s, mesh, home, sharers, 1,
+                                              noc::WormSizing{});
+    std::printf("%s  —  %zu request worm(s), %zu gather worm(s), %d ack "
+                "message(s) at the home\n",
+                std::string(core::scheme_name(s)).c_str(),
+                plan.request_worms.size(), plan.directive->gathers.size(),
+                plan.expected_ack_messages);
+    int i = 0;
+    for (const auto& w : plan.request_worms) {
+      const std::string title =
+          "request worm " + std::to_string(++i) + " (" +
+          std::to_string(w->dests.size()) + " destinations, " +
+          std::to_string(w->length_flits) + " flits)";
+      render(mesh, home, sharers, w->path, '*', title.c_str());
+    }
+    i = 0;
+    for (const auto& g : plan.directive->gathers) {
+      const std::string title =
+          "gather worm " + std::to_string(++i) +
+          (g.path.back() == home ? " (to home)" : " (deposits at leader)");
+      render(mesh, home, sharers, g.path, '~', title.c_str());
+    }
+    std::printf("------------------------------------------------------------\n");
+  }
+  return 0;
+}

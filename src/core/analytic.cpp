@@ -1,0 +1,160 @@
+#include "core/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdw::core {
+
+namespace {
+
+/// Expected Manhattan distance between two uniform random nodes on k x k
+/// (~ 2k/3).
+double avg_dist(int k) { return 2.0 * k / 3.0; }
+
+/// Expected number of occupied columns for d uniform sharers on k columns.
+double expected_columns(int k, int d) {
+  return k * (1.0 - std::pow(1.0 - 1.0 / k, d));
+}
+
+/// Pipelined wormhole latency for a worm of `flits` over `hops` hops.
+double worm_latency(double hops, int flits, int router_delay) {
+  return hops * (router_delay + 1) + flits;
+}
+
+} // namespace
+
+AnalyticEstimate estimate(Scheme scheme, const AnalyticParams& p) {
+  AnalyticEstimate e;
+  const double d = p.d;
+  const double h = avg_dist(p.k);
+  const int fc = p.sizing.control_flits;
+  (void)h;
+
+  // Request-phase worm count W and a representative worm path length.
+  double request_worms = d;
+  double request_path = h;
+  double request_flits = fc;
+  switch (framework_of(scheme)) {
+    case Framework::UiUa:
+      break;
+    case Framework::MiUa:
+    case Framework::MiMa: {
+      if (request_algo_of(scheme) == noc::RoutingAlgo::EcubeXY) {
+        // Column grouping: ~1.5 worms per occupied column (both Y sides on
+        // some), each worm ~ (k/3 X hops + k/3 Y hops).
+        request_worms = 1.5 * expected_columns(p.k, p.d);
+        request_worms = std::min(request_worms, d);
+        request_path = 2.0 * p.k / 3.0;
+      } else {
+        // Serpentine grouping: one or two worms sweeping the occupied
+        // columns; path ~ sum of column sweeps + horizontal span.
+        request_worms = scheme == Scheme::WfP2Sg ? 2.0 : 1.2;
+        request_worms = std::min(request_worms, d);
+        request_path =
+            p.k + expected_columns(p.k, p.d) * (p.k / 3.0);
+      }
+      request_flits =
+          fc + p.sizing.per_extra_dest * std::max(0.0, d / request_worms - 1);
+      break;
+    }
+  }
+
+  // Ack-phase message count A.
+  double ack_msgs = d;
+  double ack_path = h;
+  if (framework_of(scheme) == Framework::MiMa) {
+    switch (scheme) {
+      case Scheme::EcCmCg:
+        ack_msgs = request_worms;  // one combined ack per column worm
+        ack_path = 2.0 * p.k / 3.0;
+        break;
+      case Scheme::EcCmHg:
+        ack_msgs = 2.5;  // <=2 trunks + home-column gathers
+        ack_path = 2.0 * p.k / 3.0;
+        break;
+      default:  // WF gathers: <=2 home-terminating serpentines
+        ack_msgs = 2.0;
+        ack_path = p.k + expected_columns(p.k, p.d) * (p.k / 3.0);
+        break;
+    }
+    ack_msgs = std::min(ack_msgs, d);
+  }
+
+  e.messages = request_worms + ack_msgs;
+  e.home_occupancy =
+      request_worms * p.send_occupancy + ack_msgs * p.recv_occupancy;
+
+  // Latency: serialized sends at the home, then the (pipelined) request
+  // worm(s), the sharer invalidation, and the ack return.  For UI-UA the
+  // receive side also serializes at the home.
+  const double send_serial = request_worms * p.send_occupancy;
+  const double req_lat =
+      worm_latency(request_path, static_cast<int>(request_flits),
+                   p.router_delay);
+  const double ack_lat = worm_latency(ack_path, fc, p.router_delay);
+  const double recv_serial =
+      (framework_of(scheme) == Framework::MiMa ? ack_msgs : d) *
+      p.recv_occupancy;
+  e.latency = send_serial + req_lat + p.cache_inval + ack_lat + recv_serial;
+
+  // Traffic: flit-hops of every worm.
+  e.traffic_flit_hops = request_worms * request_path * request_flits +
+                        ack_msgs * ack_path * fc;
+  if (framework_of(scheme) == Framework::UiUa ||
+      framework_of(scheme) == Framework::MiUa) {
+    e.traffic_flit_hops =
+        request_worms * request_path * request_flits + d * h * fc;
+    if (framework_of(scheme) == Framework::UiUa) e.messages = 2 * d;
+    if (framework_of(scheme) == Framework::MiUa)
+      e.messages = request_worms + d;
+  }
+  return e;
+}
+
+AnalyticEstimate estimate_from_plan(Scheme scheme, const noc::MeshShape& mesh,
+                                    NodeId home,
+                                    const std::vector<NodeId>& sharers,
+                                    const AnalyticParams& p) {
+  const InvalPlan plan =
+      plan_invalidation(scheme, mesh, home, sharers, /*txn=*/1, p.sizing);
+  AnalyticEstimate e;
+  double req_traffic = 0;
+  double max_req_hops = 0;
+  for (const auto& w : plan.request_worms) {
+    const double hops = static_cast<double>(w->path.size() - 1);
+    req_traffic += hops * w->length_flits;
+    max_req_hops = std::max(max_req_hops, hops);
+  }
+  double ack_traffic = 0;
+  double ack_msgs = 0;
+  if (framework_of(scheme) == Framework::MiMa) {
+    for (const auto& g : plan.directive->gathers) {
+      const double hops = static_cast<double>(g.path.size() - 1);
+      ack_traffic += hops * g.length_flits;
+      if (g.path.back() == home) ack_msgs += 1;
+    }
+  } else {
+    for (NodeId s : sharers) {
+      ack_traffic += mesh.manhattan(s, home) * p.sizing.control_flits;
+      ack_msgs += 1;
+    }
+  }
+  const double nworms = static_cast<double>(plan.request_worms.size());
+  const double total_gathers =
+      framework_of(scheme) == Framework::MiMa
+          ? static_cast<double>(plan.directive->gathers.size())
+          : ack_msgs;
+  e.messages = nworms + total_gathers;
+  e.traffic_flit_hops = req_traffic + ack_traffic;
+  e.home_occupancy = nworms * p.send_occupancy + ack_msgs * p.recv_occupancy;
+  e.latency = nworms * p.send_occupancy +
+              worm_latency(max_req_hops, p.sizing.control_flits,
+                           p.router_delay) +
+              p.cache_inval +
+              worm_latency(avg_dist(p.k), p.sizing.control_flits,
+                           p.router_delay) +
+              ack_msgs * p.recv_occupancy;
+  return e;
+}
+
+} // namespace mdw::core

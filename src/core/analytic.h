@@ -1,0 +1,43 @@
+// Closed-form estimates of invalidation-transaction cost (paper §2.3.3),
+// plus exact plan-grounded counts used to cross-check the simulator.
+//
+// The closed-form model captures the first-order behaviour the paper argues
+// from:   UI-UA   — 2d messages, O(d) home occupancy, hot-spot at the home;
+//         MI-UA   — W worms (W = occupied column groups) for requests;
+//         MI-MA   — additionally O(W) or O(1) ack messages.
+#pragma once
+
+#include <vector>
+
+#include "core/inval_planner.h"
+#include "core/scheme.h"
+
+namespace mdw::core {
+
+struct AnalyticParams {
+  int k = 16;               // mesh is k x k
+  int d = 8;                // sharers
+  int router_delay = 4;     // cycles per hop for the header
+  int send_occupancy = 12;  // controller cycles per message sent
+  int recv_occupancy = 12;  // controller cycles per message received
+  int cache_inval = 8;      // cycles for a sharer to invalidate its copy
+  noc::WormSizing sizing{};
+};
+
+struct AnalyticEstimate {
+  double messages = 0;          // network messages in the transaction
+  double latency = 0;           // write-to-grant latency, cycles
+  double home_occupancy = 0;    // controller busy cycles at the home
+  double traffic_flit_hops = 0; // link flit-hops
+};
+
+/// Closed-form estimate for d sharers uniformly distributed on a k x k mesh.
+[[nodiscard]] AnalyticEstimate estimate(Scheme scheme, const AnalyticParams& p);
+
+/// Exact message / traffic counts derived from an actual plan (latency and
+/// occupancy remain model-based).  Used by bench_analytic_vs_sim.
+[[nodiscard]] AnalyticEstimate estimate_from_plan(
+    Scheme scheme, const noc::MeshShape& mesh, NodeId home,
+    const std::vector<NodeId>& sharers, const AnalyticParams& p);
+
+} // namespace mdw::core

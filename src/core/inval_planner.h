@@ -1,0 +1,83 @@
+// Invalidation-transaction planner: maps a directory entry's presence bits
+// onto i-reserve worms, sharer roles, and i-gather worm blueprints, for each
+// grouping scheme (DESIGN.md section 3).
+//
+// The planner runs at the home node when a write request finds a block in
+// the Shared state.  It is purely combinational (no simulator state): given
+// the sharer set it emits
+//   * the request-phase worms the home must inject (in order),
+//   * a directive telling each sharer what to do after invalidating its
+//     copy (unicast an ack / post to the local i-ack bank / launch a
+//     planned i-gather worm), and
+//   * the number of acknowledgment *messages* the home will receive
+//     (completion itself is detected by counting d individual acks).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheme.h"
+#include "noc/worm_builder.h"
+
+namespace mdw::core {
+
+enum class SharerRole : std::uint8_t {
+  UnicastAck,    // send a unicast i-ack worm to the home (UA frameworks)
+  PostLocal,     // post the i-ack into the local router's i-ack bank
+  LaunchGather,  // post is implicit: launch the planned i-gather worm
+};
+
+/// Blueprint of an i-gather worm, built by the planner at the home and
+/// carried (conceptually, as part of the invalidation message) to the
+/// initiating sharer.
+struct GatherPlan {
+  NodeId initiator = kInvalidNode;
+  std::vector<NodeId> path;
+  std::vector<noc::DestSpec> dests;
+  int length_flits = 0;
+  int vc_class = -1;
+  /// Acks this worm will deliver if it terminates at the home; informational.
+  int covers = 1;
+};
+
+/// Shared payload attached to every request-phase worm of one transaction.
+struct InvalDirective final : noc::Payload {
+  TxnId txn = 0;
+  NodeId home = kInvalidNode;
+  NodeId requester = kInvalidNode;
+  BlockAddr addr = 0;           // filled in by the protocol layer
+  int total_sharers = 0;        // d
+  std::unordered_map<NodeId, SharerRole> roles;
+  std::unordered_map<NodeId, int> gather_of;  // sharer -> index into gathers
+  std::vector<GatherPlan> gathers;
+};
+
+struct InvalPlan {
+  /// Request-phase worms in home-injection order (the home's outgoing
+  /// controller serializes these sends).
+  std::vector<noc::WormPtr> request_worms;
+  std::shared_ptr<InvalDirective> directive;
+  /// Ack messages that will arrive at the home (d for UA schemes; the
+  /// number of home-terminating gather worms for MA schemes).
+  int expected_ack_messages = 0;
+  /// Total acknowledgment worms in the network, including hierarchical
+  /// deposit gathers that never reach the home (d for UA schemes).
+  int total_ack_worms = 0;
+};
+
+/// Plan one invalidation transaction.  `sharers` must exclude the home and
+/// the requester and be non-empty.
+[[nodiscard]] InvalPlan plan_invalidation(Scheme scheme,
+                                          const noc::MeshShape& mesh,
+                                          NodeId home,
+                                          const std::vector<NodeId>& sharers,
+                                          TxnId txn,
+                                          const noc::WormSizing& sizing);
+
+/// Instantiate an i-gather worm from its blueprint (called by the initiating
+/// sharer once its own copy is invalidated; the worm starts carrying that
+/// sharer's acknowledgment).
+[[nodiscard]] noc::WormPtr build_gather_worm(const GatherPlan& plan, TxnId txn);
+
+} // namespace mdw::core

@@ -1,0 +1,86 @@
+// The invalidation frameworks and grouping schemes of the paper.
+//
+// Framework axes:
+//   UI-UA : unicast invalidations, unicast acknowledgments (baseline)
+//   MI-UA : multidestination i-reserve worms, unicast acknowledgments
+//   MI-MA : multidestination i-reserve worms + i-gather acknowledgment worms
+//
+// Grouping schemes (how the presence bits are mapped onto worm paths; see
+// DESIGN.md section 3 for precise definitions):
+//   EcCmUa : e-cube, column multicast, unicast acks            (MI-UA)
+//   EcCmCg : e-cube, column multicast, per-column gathers      (MI-MA)
+//   EcCmHg : e-cube, column multicast, hierarchical gathers    (MI-MA)
+//   WfScUa : west-first, serpentine multicast, unicast acks    (MI-UA)
+//   WfScSg : west-first, serpentine multicast + gathers        (MI-MA)
+//   WfP2Sg : west-first, parallel banded serpentines + per-band gathers
+//            (MI-MA; bounds each worm's path length — the latency side of
+//            the latency-vs-messages tradeoff that WfScSg's single
+//            serpentine exposes)
+#pragma once
+
+#include <string_view>
+
+#include "noc/routing.h"
+
+namespace mdw::core {
+
+enum class Scheme {
+  UiUa,    // unicast baseline (routing given by SchemeConfig)
+  EcCmUa,
+  EcCmCg,
+  EcCmHg,
+  WfScUa,
+  WfScSg,
+  WfP2Sg,
+};
+
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::UiUa,   Scheme::EcCmUa, Scheme::EcCmCg, Scheme::EcCmHg,
+    Scheme::WfScUa, Scheme::WfScSg, Scheme::WfP2Sg,
+};
+
+enum class Framework { UiUa, MiUa, MiMa };
+
+[[nodiscard]] constexpr Framework framework_of(Scheme s) {
+  switch (s) {
+    case Scheme::UiUa: return Framework::UiUa;
+    case Scheme::EcCmUa:
+    case Scheme::WfScUa: return Framework::MiUa;
+    default: return Framework::MiMa;
+  }
+}
+
+/// Request-network base routing a scheme's worms conform to.
+[[nodiscard]] constexpr noc::RoutingAlgo request_algo_of(Scheme s) {
+  switch (s) {
+    case Scheme::UiUa:
+    case Scheme::EcCmUa:
+    case Scheme::EcCmCg:
+    case Scheme::EcCmHg: return noc::RoutingAlgo::EcubeXY;
+    default: return noc::RoutingAlgo::WestFirst;
+  }
+}
+
+[[nodiscard]] constexpr std::string_view scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::UiUa: return "UI-UA";
+    case Scheme::EcCmUa: return "EC-CM-UA";
+    case Scheme::EcCmCg: return "EC-CM-CG";
+    case Scheme::EcCmHg: return "EC-CM-HG";
+    case Scheme::WfScUa: return "WF-SC-UA";
+    case Scheme::WfScSg: return "WF-SC-SG";
+    case Scheme::WfP2Sg: return "WF-PB-SG";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view framework_name(Framework f) {
+  switch (f) {
+    case Framework::UiUa: return "UI-UA";
+    case Framework::MiUa: return "MI-UA";
+    case Framework::MiMa: return "MI-MA";
+  }
+  return "?";
+}
+
+} // namespace mdw::core

@@ -1,0 +1,129 @@
+#include "dsm/machine.h"
+
+#include <sstream>
+
+namespace mdw::dsm {
+
+Machine::Machine(const SystemParams& params) : p_(params) {
+  net_ = std::make_unique<noc::Network>(
+      eng_, noc::MeshShape(p_.mesh_w, p_.mesh_h), p_.noc);
+  nodes_.reserve(p_.num_nodes());
+  for (NodeId id = 0; id < p_.num_nodes(); ++id) {
+    nodes_.push_back(std::make_unique<Node>(*this, id, p_));
+  }
+  net_->set_delivery_handler([this](NodeId where, const noc::WormPtr& worm) {
+    nodes_[where]->handle_delivery(worm);
+  });
+}
+
+Machine::~Machine() = default;
+
+void Machine::txn_started(TxnId txn, const InvalTxnRecord& rec) {
+  ++stats_.inval_txns;
+  stats_.inval_sharers.add(static_cast<double>(rec.sharers));
+  stats_.inval_request_worms += static_cast<std::uint64_t>(rec.request_worms);
+  stats_.inval_ack_messages += static_cast<std::uint64_t>(rec.ack_messages);
+  stats_.inval_total_ack_worms +=
+      static_cast<std::uint64_t>(rec.total_ack_worms);
+  live_txns_[txn] = rec;
+}
+
+void Machine::txn_finished(TxnId txn) {
+  auto it = live_txns_.find(txn);
+  if (it == live_txns_.end()) return;
+  it->second.end = eng_.now();
+  stats_.inval_latency.add(static_cast<double>(it->second.end -
+                                               it->second.start));
+  if (record_txns_) stats_.records.push_back(it->second);
+  live_txns_.erase(it);
+}
+
+bool Machine::all_idle() const {
+  for (const auto& n : nodes_) {
+    if (n->op_pending()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Machine::total_occupancy() const {
+  std::uint64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->stats().occupancy_cycles;
+  return sum;
+}
+
+std::string Machine::check_coherence() const {
+  std::ostringstream err;
+  const int n = static_cast<int>(nodes_.size());
+
+  // Gather every cached copy.
+  struct Copy {
+    NodeId node;
+    LineState state;
+    std::uint64_t value;
+  };
+  std::unordered_map<BlockAddr, std::vector<Copy>> copies;
+  for (NodeId id = 0; id < n; ++id) {
+    nodes_[id]->cache().for_each_valid([&](const Cache::Line& l) {
+      copies[l.tag].push_back(Copy{id, l.state, l.value});
+    });
+  }
+
+  // Single-writer & no-stale-sharers.
+  for (const auto& [addr, cs] : copies) {
+    int modified = 0;
+    for (const auto& c : cs) modified += (c.state == LineState::Modified);
+    if (modified > 1) {
+      err << "block " << addr << ": " << modified << " Modified copies\n";
+    }
+    if (modified == 1 && cs.size() > 1) {
+      err << "block " << addr << ": Modified copy coexists with "
+          << cs.size() - 1 << " other copies\n";
+    }
+  }
+
+  // Directory agreement (silent Shared evictions make the directory a
+  // superset of the caches, never the reverse).
+  for (NodeId home = 0; home < n; ++home) {
+    nodes_[home]->directory().for_each([&](BlockAddr addr, const DirEntry& e) {
+      if (e.state == DirState::Waiting) {
+        err << "block " << addr << ": directory stuck in Waiting\n";
+        return;
+      }
+      const auto it = copies.find(addr);
+      if (e.state == DirState::Exclusive) {
+        bool owner_holds = false;
+        if (it != copies.end()) {
+          for (const auto& c : it->second) {
+            if (c.state == LineState::Modified && c.node == e.owner)
+              owner_holds = true;
+            if (c.node != e.owner)
+              err << "block " << addr << ": copy at node " << c.node
+                  << " while Exclusive at " << e.owner << "\n";
+          }
+        }
+        if (!owner_holds)
+          err << "block " << addr << ": Exclusive owner " << e.owner
+              << " holds no Modified copy\n";
+      } else {
+        if (it != copies.end()) {
+          for (const auto& c : it->second) {
+            if (c.state == LineState::Modified)
+              err << "block " << addr << ": Modified copy at node " << c.node
+                  << " but directory state "
+                  << dir_state_name(e.state) << "\n";
+            else if (!e.sharers.count(c.node))
+              err << "block " << addr << ": Shared copy at node " << c.node
+                  << " without presence bit\n";
+            else if (c.value != e.mem_value)
+              err << "block " << addr << ": Shared copy at node " << c.node
+                  << " has value " << c.value << " but memory holds "
+                  << e.mem_value << "\n";
+          }
+        }
+      }
+    });
+  }
+  return err.str();
+}
+
+} // namespace mdw::dsm

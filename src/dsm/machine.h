@@ -1,0 +1,82 @@
+// The whole DSM machine: engine + network + one Node per mesh position,
+// plus machine-level metrics (invalidation-transaction latency, traffic).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dsm/node.h"
+#include "noc/network.h"
+#include "sim/engine.h"
+
+namespace mdw::dsm {
+
+struct InvalTxnRecord {
+  BlockAddr addr = 0;
+  NodeId home = kInvalidNode;
+  int sharers = 0;
+  int request_worms = 0;
+  int ack_messages = 0;     // acknowledgments arriving at the home
+  int total_ack_worms = 0;  // all ack worms, incl. hierarchical deposits
+  Cycle start = 0;
+  Cycle end = 0;
+};
+
+struct MachineStats {
+  sim::Sampler inval_latency;      // write request reaching a Shared block ->
+                                   // last ack collected (cycles)
+  sim::Sampler inval_sharers;      // d per transaction
+  std::uint64_t inval_txns = 0;
+  std::uint64_t inval_request_worms = 0;
+  std::uint64_t inval_ack_messages = 0;     // home arrivals
+  std::uint64_t inval_total_ack_worms = 0;  // all ack worms in the network
+  std::vector<InvalTxnRecord> records;  // populated when record_txns is set
+};
+
+class Machine {
+public:
+  explicit Machine(const SystemParams& params);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] const SystemParams& params() const { return p_; }
+  [[nodiscard]] sim::Engine& engine() { return eng_; }
+  [[nodiscard]] noc::Network& network() { return *net_; }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_[id]; }
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] NodeId home_of(BlockAddr a) const { return p_.home_of(a); }
+
+  [[nodiscard]] TxnId next_txn() { return next_txn_++; }
+  [[nodiscard]] MachineStats& stats() { return stats_; }
+  void set_record_txns(bool on) { record_txns_ = on; }
+  [[nodiscard]] bool record_txns() const { return record_txns_; }
+
+  // Transaction bookkeeping, called from the home Node.
+  void txn_started(TxnId txn, const InvalTxnRecord& rec);
+  void txn_finished(TxnId txn);
+
+  /// True when no processor operation is pending anywhere.
+  [[nodiscard]] bool all_idle() const;
+
+  /// Aggregate occupancy / message counters over all nodes.
+  [[nodiscard]] std::uint64_t total_occupancy() const;
+
+  /// Verify directory/cache agreement (coherence invariants); returns a
+  /// human-readable violation description or an empty string.  Intended for
+  /// tests — call at quiescence.
+  [[nodiscard]] std::string check_coherence() const;
+
+private:
+  SystemParams p_;
+  sim::Engine eng_;
+  std::unique_ptr<noc::Network> net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  TxnId next_txn_ = 1;
+  MachineStats stats_;
+  bool record_txns_ = false;
+  std::unordered_map<TxnId, InvalTxnRecord> live_txns_;
+};
+
+} // namespace mdw::dsm

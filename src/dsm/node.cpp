@@ -1,0 +1,516 @@
+#include "dsm/node.h"
+
+#include <cassert>
+
+#include "dsm/machine.h"
+#include "noc/worm_builder.h"
+
+namespace mdw::dsm {
+
+using core::InvalDirective;
+using core::SharerRole;
+
+Node::Node(Machine& machine, NodeId id, const SystemParams& params)
+    : machine_(machine), id_(id), p_(params), cache_(params.cache_lines) {}
+
+// ---------------------------------------------------------------------------
+// Outgoing controller
+// ---------------------------------------------------------------------------
+
+void Node::oc_send(noc::WormPtr worm) {
+  const Cycle now = machine_.engine().now();
+  const Cycle compose_done =
+      std::max(now, oc_free_at_) + static_cast<Cycle>(p_.send_occupancy);
+  oc_free_at_ = compose_done;
+  stats_.occupancy_cycles += static_cast<std::uint64_t>(p_.send_occupancy);
+  ++stats_.msgs_sent;
+  machine_.engine().schedule_at(compose_done, [this, worm = std::move(worm)] {
+    machine_.network().inject(worm);
+  });
+}
+
+void Node::send_coh(MsgType t, BlockAddr a, NodeId dst, NodeId requester,
+                    TxnId txn, std::uint64_t value) {
+  const bool reply = t == MsgType::ReadReply || t == MsgType::WriteReply ||
+                     t == MsgType::InvalAck || t == MsgType::RecallData ||
+                     t == MsgType::WritebackAck;
+  const auto vnet = reply ? noc::VNet::Reply : noc::VNet::Request;
+  const auto algo = reply ? p_.reply_algo() : p_.request_algo();
+  const int flits = carries_data(t) ? p_.sizing.data_flits
+                                    : p_.sizing.control_size(1);
+  auto msg = std::make_shared<CohMsg>(t, a, requester, txn, value);
+  const bool turn_model = algo == noc::RoutingAlgo::WestFirst ||
+                          algo == noc::RoutingAlgo::EastFirst;
+  noc::WormPtr worm =
+      p_.adaptive_unicast && turn_model && id_ != dst
+          ? noc::make_adaptive_unicast(algo, vnet, id_, dst, flits, txn,
+                                       std::move(msg))
+          : noc::make_unicast(machine_.network().mesh(), algo, vnet, id_, dst,
+                              flits, txn, std::move(msg));
+  if (reply) worm->vc_class = p_.reply_vc_class();
+  oc_send(std::move(worm));
+}
+
+// ---------------------------------------------------------------------------
+// Processor interface
+// ---------------------------------------------------------------------------
+
+void Node::read(BlockAddr a, std::function<void(std::uint64_t)> done) {
+  assert(!op_.active);
+  op_ = CurrentOp{};
+  op_.active = true;
+  op_.is_write = false;
+  op_.addr = a;
+  op_.start = machine_.engine().now();
+  op_.done_read = std::move(done);
+  machine_.engine().schedule_after(p_.cache_access, [this, a] {
+    if (cache_.lookup(a) != LineState::Invalid) {
+      cache_.note_hit();
+      complete_op(cache_.value_of(a));
+      return;
+    }
+    cache_.note_miss();
+    send_coh(MsgType::ReadReq, a, machine_.home_of(a), id_, 0, 0);
+  });
+}
+
+void Node::write(BlockAddr a, std::uint64_t value, std::function<void()> done) {
+  assert(!op_.active);
+  op_ = CurrentOp{};
+  op_.active = true;
+  op_.is_write = true;
+  op_.addr = a;
+  op_.wvalue = value;
+  op_.start = machine_.engine().now();
+  op_.done_write = std::move(done);
+  machine_.engine().schedule_after(p_.cache_access, [this, a] {
+    if (cache_.lookup(a) == LineState::Modified) {
+      cache_.note_hit();
+      cache_.set_value(a, op_.wvalue);
+      complete_op(op_.wvalue);
+      return;
+    }
+    // Shared (upgrade) and Invalid (miss) both go to the home.
+    cache_.note_miss();
+    send_coh(MsgType::WriteReq, a, machine_.home_of(a), id_, 0, 0);
+  });
+}
+
+void Node::complete_op(std::uint64_t value) {
+  assert(op_.active);
+  const Cycle lat = machine_.engine().now() - op_.start;
+  op_.active = false;
+  if (op_.is_write) {
+    stats_.write_latency.add(static_cast<double>(lat));
+    auto done = std::move(op_.done_write);
+    if (done) done();
+  } else {
+    stats_.read_latency.add(static_cast<double>(lat));
+    auto done = std::move(op_.done_read);
+    if (done) done(value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delivery dispatch
+// ---------------------------------------------------------------------------
+
+void Node::handle_delivery(const noc::WormPtr& worm) {
+  ++stats_.msgs_received;
+  if (worm->kind == noc::WormKind::Gather) {
+    // Combined acknowledgment arriving at the home.
+    dc_schedule(0, [this, txn = worm->txn, n = worm->gathered] {
+      dc_on_ack(txn, n);
+    });
+    return;
+  }
+  if (auto dir = std::dynamic_pointer_cast<const InvalDirective>(worm->payload)) {
+    cc_invalidation(id_, std::move(dir));
+    return;
+  }
+  auto msg = std::dynamic_pointer_cast<const CohMsg>(worm->payload);
+  assert(msg != nullptr);
+  switch (msg->type) {
+    case MsgType::ReadReq:
+    case MsgType::WriteReq:
+    case MsgType::InvalAck:
+    case MsgType::RecallData:
+    case MsgType::Writeback:
+      dc_dispatch(std::move(msg));
+      break;
+    case MsgType::ReadReply:
+    case MsgType::WriteReply:
+    case MsgType::Recall:
+    case MsgType::RecallShare:
+    case MsgType::WritebackAck:
+      cc_schedule(p_.cache_access, [this, m = std::move(msg)] { cc_reply(*m); });
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directory controller
+// ---------------------------------------------------------------------------
+
+void Node::dc_schedule(Cycle extra_busy, std::function<void()> fn) {
+  const Cycle now = machine_.engine().now();
+  const Cycle busy =
+      static_cast<Cycle>(p_.recv_occupancy + p_.dir_lookup) + extra_busy;
+  const Cycle start = std::max(now, dc_free_at_);
+  dc_free_at_ = start + busy;
+  stats_.occupancy_cycles += busy;
+  machine_.engine().schedule_at(dc_free_at_, std::move(fn));
+}
+
+void Node::dc_dispatch(std::shared_ptr<const CohMsg> m) {
+  switch (m->type) {
+    case MsgType::ReadReq:
+      dc_schedule(0, [this, m] { dc_read(m->addr, m->requester); });
+      break;
+    case MsgType::WriteReq:
+      dc_schedule(0, [this, m] { dc_write(m->addr, m->requester); });
+      break;
+    case MsgType::InvalAck:
+      dc_schedule(0, [this, m] { dc_on_ack(m->txn, 1); });
+      break;
+    case MsgType::RecallData:
+      dc_schedule(0, [this, m] {
+        dc_on_data(m->addr, m->requester, m->value, /*writeback=*/false);
+      });
+      break;
+    case MsgType::Writeback:
+      dc_schedule(0, [this, m] {
+        dc_on_data(m->addr, m->requester, m->value, /*writeback=*/true);
+      });
+      break;
+    default:
+      assert(false && "not a DC message");
+  }
+}
+
+void Node::dc_read(BlockAddr a, NodeId requester) {
+  DirEntry& e = dir_.entry(a);
+  ++dir_.stats().read_reqs;
+  switch (e.state) {
+    case DirState::Uncached:
+    case DirState::Shared: {
+      e.state = DirState::Shared;
+      e.sharers.insert(requester);
+      // Memory access before the data reply leaves.
+      machine_.engine().schedule_after(p_.mem_access, [this, a, requester,
+                                                       v = e.mem_value] {
+        send_coh(MsgType::ReadReply, a, requester, requester, 0, v);
+      });
+      drain_queue(a);  // keep servicing requests queued behind a Waiting spell
+      break;
+    }
+    case DirState::Exclusive: {
+      e.state = DirState::Waiting;
+      e.active = PendingReq{requester, false};
+      e.recall_outstanding = true;
+      e.recall_for_write = false;
+      ++dir_.stats().recalls;
+      if (e.owner != requester) {
+        send_coh(MsgType::RecallShare, a, e.owner, requester, 0, 0);
+      }
+      // owner == requester: the owner evicted the line; its Writeback is in
+      // flight and will complete the recall.
+      break;
+    }
+    case DirState::Waiting:
+      e.queue.push_back(PendingReq{requester, false});
+      break;
+  }
+}
+
+void Node::dc_write(BlockAddr a, NodeId requester) {
+  DirEntry& e = dir_.entry(a);
+  ++dir_.stats().write_reqs;
+  switch (e.state) {
+    case DirState::Uncached:
+      e.active = PendingReq{requester, true};
+      grant(a, e);
+      break;
+    case DirState::Shared: {
+      e.sharers.erase(requester);  // upgrade: the requester needs no inval
+      if (e.sharers.count(id_)) {
+        // The home's own cached copy is invalidated locally (no message).
+        e.sharers.erase(id_);
+        if (op_.active && !op_.is_write && op_.addr == a &&
+            cache_.lookup(a) == LineState::Invalid) {
+          // Our own ReadReply is still in flight; drop the line on arrival.
+          pending_inval_.insert(a);
+        }
+        cache_.invalidate(a);
+      }
+      e.active = PendingReq{requester, true};
+      if (e.sharers.empty()) {
+        grant(a, e);
+      } else {
+        e.state = DirState::Waiting;
+        start_invalidation(a, e);
+      }
+      break;
+    }
+    case DirState::Exclusive: {
+      e.state = DirState::Waiting;
+      e.active = PendingReq{requester, true};
+      e.recall_outstanding = true;
+      e.recall_for_write = true;
+      ++dir_.stats().recalls;
+      if (e.owner != requester) {
+        send_coh(MsgType::Recall, a, e.owner, requester, 0, 0);
+      }
+      break;
+    }
+    case DirState::Waiting:
+      e.queue.push_back(PendingReq{requester, true});
+      break;
+  }
+}
+
+void Node::start_invalidation(BlockAddr a, DirEntry& e) {
+  ++dir_.stats().inval_txns;
+  const TxnId txn = machine_.next_txn();
+  e.txn = txn;
+  e.acks_needed = static_cast<int>(e.sharers.size());
+  e.acks_got = 0;
+  txn_addr_[txn] = a;
+
+  const std::vector<NodeId> sharers(e.sharers.begin(), e.sharers.end());
+  auto plan = core::plan_invalidation(p_.scheme, machine_.network().mesh(),
+                                      id_, sharers, txn, p_.sizing);
+  // The directive is shared by every worm of the plan; fill in the
+  // protocol-level fields.
+  auto dir = std::const_pointer_cast<InvalDirective>(plan.directive);
+  dir->addr = a;
+  dir->requester = e.active.requester;
+
+  InvalTxnRecord rec;
+  rec.addr = a;
+  rec.home = id_;
+  rec.sharers = e.acks_needed;
+  rec.request_worms = static_cast<int>(plan.request_worms.size());
+  rec.ack_messages = plan.expected_ack_messages;
+  rec.total_ack_worms = plan.total_ack_worms;
+  rec.start = machine_.engine().now();
+  machine_.txn_started(txn, rec);
+
+  for (auto& w : plan.request_worms) oc_send(std::move(w));
+
+  if (p_.eager_exclusive_reply) {
+    // Release-consistency overlap: unblock the writer immediately; the
+    // entry stays Waiting (other requesters queue) until the acks arrive.
+    e.eager_granted = true;
+    send_coh(MsgType::WriteReply, a, e.active.requester, e.active.requester,
+             0, e.mem_value);
+  }
+}
+
+void Node::dc_on_ack(TxnId txn, int count) {
+  auto it = txn_addr_.find(txn);
+  assert(it != txn_addr_.end());
+  const BlockAddr a = it->second;
+  DirEntry& e = dir_.entry(a);
+  assert(e.state == DirState::Waiting && e.txn == txn);
+  e.acks_got += count;
+  assert(e.acks_got <= e.acks_needed);
+  if (e.acks_got < e.acks_needed) return;
+  txn_addr_.erase(it);
+  machine_.txn_finished(txn);
+  e.sharers.clear();
+  if (e.eager_granted) {
+    // The WriteReply already went out when the transaction started.
+    e.eager_granted = false;
+    if (e.active.requester == kInvalidNode) {
+      e.state = DirState::Uncached;  // writer already wrote back (RC race)
+      e.owner = kInvalidNode;
+    } else {
+      e.state = DirState::Exclusive;
+      e.owner = e.active.requester;
+    }
+    drain_queue(a);
+    return;
+  }
+  grant(a, e);
+}
+
+void Node::dc_on_data(BlockAddr a, NodeId from, std::uint64_t v,
+                      bool writeback) {
+  DirEntry& e = dir_.entry(a);
+  if (writeback) {
+    ++dir_.stats().writebacks;
+    send_coh(MsgType::WritebackAck, a, from, from, 0, 0);
+  }
+  if (e.state == DirState::Waiting && e.eager_granted &&
+      from == e.active.requester) {
+    // RC mode: the eagerly-granted writer already evicted the line while
+    // its invalidation acks are still outstanding.  Absorb the data; the
+    // entry goes Uncached when the transaction completes.
+    e.mem_value = v;
+    e.active.requester = kInvalidNode;
+    return;
+  }
+  if (e.state == DirState::Waiting && e.recall_outstanding && e.owner == from) {
+    // Recall response (a crossing Writeback also serves as one; the owner
+    // then holds no copy, so it cannot keep a shared copy).
+    complete_recall(a, e, v, /*owner_kept_shared_copy=*/!writeback &&
+                                 !e.recall_for_write);
+    return;
+  }
+  if (e.state == DirState::Exclusive && e.owner == from) {
+    assert(writeback);
+    e.mem_value = v;
+    e.owner = kInvalidNode;
+    e.state = DirState::Uncached;
+    return;
+  }
+  // Stale data message (e.g. RecallData after a crossing Writeback already
+  // satisfied the recall): the value is already superseded.
+}
+
+void Node::complete_recall(BlockAddr a, DirEntry& e, std::uint64_t v,
+                           bool owner_kept_shared_copy) {
+  e.mem_value = v;
+  e.recall_outstanding = false;
+  const NodeId old_owner = e.owner;
+  e.owner = kInvalidNode;
+  e.sharers.clear();
+  if (owner_kept_shared_copy) e.sharers.insert(old_owner);
+  grant(a, e);
+}
+
+void Node::grant(BlockAddr a, DirEntry& e) {
+  const PendingReq req = e.active;
+  if (req.is_write) {
+    e.state = DirState::Exclusive;
+    e.owner = req.requester;
+    e.sharers.clear();
+    send_coh(MsgType::WriteReply, a, req.requester, req.requester, 0,
+             e.mem_value);
+  } else {
+    e.state = DirState::Shared;
+    e.sharers.insert(req.requester);
+    machine_.engine().schedule_after(p_.mem_access, [this, a, req,
+                                                     v = e.mem_value] {
+      send_coh(MsgType::ReadReply, a, req.requester, req.requester, 0, v);
+    });
+  }
+  drain_queue(a);
+}
+
+void Node::drain_queue(BlockAddr a) {
+  DirEntry& e = dir_.entry(a);
+  if (e.state == DirState::Waiting || e.queue.empty()) return;
+  const PendingReq next = e.queue.front();
+  e.queue.pop_front();
+  dc_schedule(0, [this, a, next] {
+    if (next.is_write) dc_write(a, next.requester);
+    else dc_read(a, next.requester);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Cache controller
+// ---------------------------------------------------------------------------
+
+void Node::cc_schedule(Cycle extra_busy, std::function<void()> fn) {
+  const Cycle now = machine_.engine().now();
+  const Cycle busy = static_cast<Cycle>(p_.recv_occupancy) + extra_busy;
+  const Cycle start = std::max(now, cc_free_at_);
+  cc_free_at_ = start + busy;
+  stats_.occupancy_cycles += busy;
+  machine_.engine().schedule_at(cc_free_at_, std::move(fn));
+}
+
+void Node::cc_invalidation(NodeId here,
+                           std::shared_ptr<const InvalDirective> dir) {
+  cc_schedule(p_.cache_access, [this, here, dir = std::move(dir)] {
+    if (op_.active && !op_.is_write && op_.addr == dir->addr &&
+        cache_.lookup(dir->addr) == LineState::Invalid) {
+      // Our ReadReply may be in flight behind this invalidation: the read
+      // still completes, but the incoming line must be dropped.
+      pending_inval_.insert(dir->addr);
+    }
+    cache_.invalidate(dir->addr);  // acks are sent even for evicted copies
+    switch (dir->roles.at(here)) {
+      case SharerRole::UnicastAck:
+        send_coh(MsgType::InvalAck, dir->addr, dir->home, dir->requester,
+                 dir->txn, 0);
+        break;
+      case SharerRole::PostLocal:
+        machine_.network().post_iack(here, dir->txn, 1);
+        break;
+      case SharerRole::LaunchGather: {
+        const auto& g = dir->gathers[dir->gather_of.at(here)];
+        oc_send(core::build_gather_worm(g, dir->txn));
+        break;
+      }
+    }
+  });
+}
+
+void Node::cc_reply(const CohMsg& m) {
+  switch (m.type) {
+    case MsgType::ReadReply:
+      install_line(m.addr, LineState::Shared, m.value);
+      if (pending_inval_.erase(m.addr) > 0) cache_.invalidate(m.addr);
+      assert(op_.active && !op_.is_write && op_.addr == m.addr);
+      complete_op(m.value);
+      break;
+    case MsgType::WriteReply: {
+      install_line(m.addr, LineState::Modified, op_.wvalue);
+      assert(op_.active && op_.is_write && op_.addr == m.addr);
+      complete_op(op_.wvalue);
+      // Service a recall that overtook this grant.
+      if (auto it = pending_recall_.find(m.addr); it != pending_recall_.end()) {
+        const bool downgrade_only = it->second;
+        pending_recall_.erase(it);
+        cc_recall(m.addr, downgrade_only);
+      }
+      break;
+    }
+    case MsgType::Recall:
+      cc_recall(m.addr, /*downgrade_only=*/false);
+      break;
+    case MsgType::RecallShare:
+      cc_recall(m.addr, /*downgrade_only=*/true);
+      break;
+    case MsgType::WritebackAck:
+      wb_pending_.erase(m.addr);
+      break;
+    default:
+      assert(false && "not a CC message");
+  }
+}
+
+void Node::cc_recall(BlockAddr a, bool downgrade_only) {
+  if (wb_pending_.count(a)) return;  // the in-flight Writeback answers it
+  if (cache_.lookup(a) != LineState::Modified) {
+    if (op_.active && op_.is_write && op_.addr == a) {
+      // Early recall: it overtook the WriteReply that makes us the owner.
+      pending_recall_[a] = downgrade_only;
+      return;
+    }
+    // Stale recall (reply/request networks may reorder WritebackAck vs
+    // Recall); the home has already been satisfied by the Writeback.
+    return;
+  }
+  const std::uint64_t v =
+      downgrade_only ? cache_.downgrade(a)
+                     : (cache_.invalidate(a), cache_.value_of(a));
+  send_coh(MsgType::RecallData, a, machine_.home_of(a), id_, 0, v);
+}
+
+void Node::install_line(BlockAddr a, LineState st, std::uint64_t value) {
+  const auto ev = cache_.install(a, st, value);
+  if (ev.valid && ev.dirty) {
+    wb_pending_.insert(ev.addr);
+    send_coh(MsgType::Writeback, ev.addr, machine_.home_of(ev.addr), id_, 0,
+             ev.value);
+  }
+  // Clean (Shared) victims are dropped silently; the home's presence bit
+  // goes stale, which is safe: invalidations of absent lines are acked.
+}
+
+} // namespace mdw::dsm

@@ -1,0 +1,125 @@
+// One DSM node: processor interface, cache controller (CC), directory
+// controller (DC), and outgoing message controller (OC), mirroring the node
+// organisation of the paper's §2.1 (DASH/Alewife/FLASH-style).
+//
+// Controller occupancy is modelled explicitly: the DC serializes message
+// receptions (recv_occupancy + dir_lookup each), the OC serializes message
+// compositions (send_occupancy each).  Home-node occupancy — the metric the
+// paper optimizes — is the sum of both at the home.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/inval_planner.h"
+#include "dsm/cache.h"
+#include "dsm/directory.h"
+#include "dsm/messages.h"
+#include "dsm/params.h"
+#include "sim/stats.h"
+
+namespace mdw::dsm {
+
+class Machine;
+
+struct NodeStats {
+  std::uint64_t occupancy_cycles = 0;   // DC + OC busy cycles at this node
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  sim::Sampler read_latency;            // completed processor reads (cycles)
+  sim::Sampler write_latency;
+};
+
+class Node {
+public:
+  Node(Machine& machine, NodeId id, const SystemParams& params);
+
+  /// Processor interface (sequential consistency: one outstanding access).
+  void read(BlockAddr a, std::function<void(std::uint64_t value)> done);
+  void write(BlockAddr a, std::uint64_t value, std::function<void()> done);
+  [[nodiscard]] bool op_pending() const { return op_.active; }
+
+  /// Entry point for every worm delivered (or absorbed) at this node.
+  void handle_delivery(const noc::WormPtr& worm);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Cache& cache() { return cache_; }
+  [[nodiscard]] const Cache& cache() const { return cache_; }
+  [[nodiscard]] Directory& directory() { return dir_; }
+  [[nodiscard]] const Directory& directory() const { return dir_; }
+  [[nodiscard]] NodeStats& stats() { return stats_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+
+private:
+  // --- outgoing controller ------------------------------------------------
+  /// Serialize a send through the OC; the worm is injected when composed.
+  void oc_send(noc::WormPtr worm);
+  void send_coh(MsgType t, BlockAddr a, NodeId dst, NodeId requester,
+                TxnId txn, std::uint64_t value);
+
+  // --- directory controller (home side) -----------------------------------
+  /// Serialize an incoming-message handler through the DC.
+  void dc_schedule(Cycle extra_busy, std::function<void()> fn);
+  void dc_dispatch(std::shared_ptr<const CohMsg> m);
+  void dc_read(BlockAddr a, NodeId requester);
+  void dc_write(BlockAddr a, NodeId requester);
+  void dc_on_ack(TxnId txn, int count);
+  void dc_on_data(BlockAddr a, NodeId from, std::uint64_t v, bool writeback);
+  void start_invalidation(BlockAddr a, DirEntry& e);
+  void complete_recall(BlockAddr a, DirEntry& e, std::uint64_t v,
+                       bool owner_kept_shared_copy);
+  void grant(BlockAddr a, DirEntry& e);
+  void drain_queue(BlockAddr a);
+
+  // --- cache controller (sharer side) --------------------------------------
+  void cc_schedule(Cycle extra_busy, std::function<void()> fn);
+  void cc_invalidation(NodeId here,
+                       std::shared_ptr<const core::InvalDirective> dir);
+  void cc_recall(BlockAddr a, bool downgrade_only);
+  void cc_reply(const CohMsg& m);
+  void install_line(BlockAddr a, LineState st, std::uint64_t value);
+  void complete_op(std::uint64_t value);
+
+  Machine& machine_;
+  NodeId id_;
+  const SystemParams& p_;
+  Cache cache_;
+  Directory dir_;
+  NodeStats stats_;
+
+  Cycle oc_free_at_ = 0;
+  Cycle dc_free_at_ = 0;
+  Cycle cc_free_at_ = 0;
+
+  struct CurrentOp {
+    bool active = false;
+    bool is_write = false;
+    BlockAddr addr = 0;
+    std::uint64_t wvalue = 0;
+    Cycle start = 0;
+    std::function<void(std::uint64_t)> done_read;
+    std::function<void()> done_write;
+  } op_;
+
+  /// Modified-line evictions awaiting WritebackAck (non-silent writebacks;
+  /// Recalls for these lines are ignored — the in-flight Writeback serves
+  /// as the recall response at the home).
+  std::unordered_set<BlockAddr> wb_pending_;
+
+  /// Early-recall race: a Recall/RecallShare that overtook our WriteReply
+  /// (they travel on different virtual networks).  Applied right after the
+  /// write completes.  Value: downgrade_only.
+  std::unordered_map<BlockAddr, bool> pending_recall_;
+
+  /// Early-invalidation race: an invalidation that overtook our ReadReply.
+  /// The read still completes (it was ordered before the write at the
+  /// home), but the line must not stay cached.
+  std::unordered_set<BlockAddr> pending_inval_;
+
+  /// Home-side: transaction id -> block of the in-flight invalidation.
+  std::unordered_map<TxnId, BlockAddr> txn_addr_;
+};
+
+} // namespace mdw::dsm

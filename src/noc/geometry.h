@@ -1,0 +1,108 @@
+// 2-D mesh geometry: coordinates, directions, and id <-> coordinate maps.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace mdw::noc {
+
+/// Router port directions. Local is the processor/NI port.
+enum class Dir : std::uint8_t { North = 0, South, East, West, Local };
+
+inline constexpr int kNumPorts = 5;     // N,S,E,W,Local
+inline constexpr int kNumLinkDirs = 4;  // N,S,E,W
+
+[[nodiscard]] constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+    case Dir::East: return Dir::West;
+    case Dir::West: return Dir::East;
+    default: return Dir::Local;
+  }
+}
+
+[[nodiscard]] inline const char* dir_name(Dir d) {
+  static constexpr const char* names[] = {"N", "S", "E", "W", "L"};
+  return names[static_cast<int>(d)];
+}
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  bool operator==(const Coord&) const = default;
+};
+
+/// Mesh dimensions and the row-major node-id mapping.
+class MeshShape {
+public:
+  MeshShape(int width, int height) : w_(width), h_(height) {
+    assert(width > 0 && height > 0);
+  }
+
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] int height() const { return h_; }
+  [[nodiscard]] int num_nodes() const { return w_ * h_; }
+
+  [[nodiscard]] NodeId id_of(Coord c) const {
+    assert(contains(c));
+    return c.y * w_ + c.x;
+  }
+  [[nodiscard]] Coord coord_of(NodeId id) const {
+    assert(id >= 0 && id < num_nodes());
+    return Coord{id % w_, id / w_};
+  }
+  [[nodiscard]] bool contains(Coord c) const {
+    return c.x >= 0 && c.x < w_ && c.y >= 0 && c.y < h_;
+  }
+
+  /// Neighbour in direction d, or kInvalidNode at the mesh edge.
+  [[nodiscard]] NodeId neighbor(NodeId id, Dir d) const {
+    Coord c = coord_of(id);
+    switch (d) {
+      case Dir::North: c.y += 1; break;  // +Y is "north"
+      case Dir::South: c.y -= 1; break;
+      case Dir::East: c.x += 1; break;
+      case Dir::West: c.x -= 1; break;
+      default: return kInvalidNode;
+    }
+    return contains(c) ? id_of(c) : kInvalidNode;
+  }
+
+  /// Direction of the single-hop move a -> b; a and b must be adjacent.
+  [[nodiscard]] Dir step_dir(NodeId a, NodeId b) const {
+    const Coord ca = coord_of(a), cb = coord_of(b);
+    if (cb.x == ca.x + 1 && cb.y == ca.y) return Dir::East;
+    if (cb.x == ca.x - 1 && cb.y == ca.y) return Dir::West;
+    if (cb.y == ca.y + 1 && cb.x == ca.x) return Dir::North;
+    if (cb.y == ca.y - 1 && cb.x == ca.x) return Dir::South;
+    assert(false && "nodes are not adjacent");
+    return Dir::Local;
+  }
+
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const {
+    const Coord ca = coord_of(a), cb = coord_of(b);
+    const int dx = ca.x - cb.x, dy = ca.y - cb.y;
+    return (dx == 0 && (dy == 1 || dy == -1)) ||
+           (dy == 0 && (dx == 1 || dx == -1));
+  }
+
+  [[nodiscard]] int manhattan(NodeId a, NodeId b) const {
+    const Coord ca = coord_of(a), cb = coord_of(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+  }
+
+  [[nodiscard]] std::string to_string(NodeId id) const {
+    const Coord c = coord_of(id);
+    return "(" + std::to_string(c.x) + "," + std::to_string(c.y) + ")";
+  }
+
+private:
+  int w_, h_;
+};
+
+} // namespace mdw::noc

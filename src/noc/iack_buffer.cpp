@@ -1,0 +1,103 @@
+#include "noc/iack_buffer.h"
+
+#include <algorithm>
+
+namespace mdw::noc {
+
+bool IAckBufferBank::has_free() const {
+  for (const auto& e : entries_)
+    if (!e.valid) return true;
+  return false;
+}
+
+IAckBufferBank::Entry* IAckBufferBank::find(TxnId txn) {
+  for (auto& e : entries_)
+    if (e.valid && e.txn == txn) return &e;
+  return nullptr;
+}
+
+IAckBufferBank::Entry* IAckBufferBank::alloc() {
+  for (auto& e : entries_)
+    if (!e.valid) return &e;
+  return nullptr;
+}
+
+bool IAckBufferBank::reserve(TxnId txn, int expected) {
+  if (Entry* e = find(txn)) {
+    e->expected = std::max(e->expected, expected);
+    return true;
+  }
+  Entry* e = alloc();
+  if (e == nullptr) return false;
+  *e = Entry{};
+  e->valid = true;
+  e->txn = txn;
+  e->expected = expected;
+  return true;
+}
+
+std::optional<WormPtr> IAckBufferBank::post(TxnId txn, int count, bool* accepted) {
+  Entry* e = find(txn);
+  if (e == nullptr) {
+    e = alloc();
+    if (e == nullptr) {
+      *accepted = false;
+      return std::nullopt;
+    }
+    *e = Entry{};
+    e->valid = true;
+    e->txn = txn;
+    e->expected = 1;
+  }
+  *accepted = true;
+  e->arrived += 1;
+  e->count += count;
+  if (e->parked != nullptr && e->arrived >= e->expected) {
+    WormPtr w = std::move(e->parked);
+    w->gathered += e->count;
+    *e = Entry{};
+    return w;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> IAckBufferBank::pickup(TxnId txn, int expected_if_new,
+                                          const WormPtr& worm, bool* blocked) {
+  *blocked = false;
+  Entry* e = find(txn);
+  if (e == nullptr) {
+    e = alloc();
+    if (e == nullptr) {
+      *blocked = true;
+      return std::nullopt;
+    }
+    *e = Entry{};
+    e->valid = true;
+    e->txn = txn;
+    e->expected = expected_if_new;
+  }
+  if (e->arrived >= e->expected) {
+    const int count = e->count;
+    *e = Entry{};
+    return count;
+  }
+  if (e->parked != nullptr) {
+    // A second gather worm of the same transaction cannot park in the same
+    // entry; it must block upstream until the first departs.  The schemes in
+    // src/core never create this situation, but the hardware rule is defined.
+    *blocked = true;
+    return std::nullopt;
+  }
+  e->parked = worm;
+  ++deferred_;
+  return std::nullopt;
+}
+
+int IAckBufferBank::entries_in_use() const {
+  int n = 0;
+  for (const auto& e : entries_)
+    if (e.valid) ++n;
+  return n;
+}
+
+} // namespace mdw::noc

@@ -1,0 +1,158 @@
+#include "noc/network.h"
+
+#include <cassert>
+
+namespace mdw::noc {
+
+Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& params)
+    : eng_(eng), mesh_(mesh), params_(params) {
+  const int n = mesh_.num_nodes();
+  routers_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    routers_.push_back(std::make_unique<Router>(*this, id, params_));
+  }
+  ifaces_.resize(n);
+  for (auto& iface : ifaces_) {
+    iface.streaming.resize(static_cast<std::size_t>(params_.inj_vcs_total()));
+  }
+  link_flits_.assign(n, {});
+  // Wire the mesh: router r's output in direction d feeds the neighbour's
+  // input port opposite(d).
+  for (NodeId id = 0; id < n; ++id) {
+    for (int d = 0; d < kNumLinkDirs; ++d) {
+      const NodeId nbr = mesh_.neighbor(id, static_cast<Dir>(d));
+      if (nbr == kInvalidNode) continue;
+      auto& link = routers_[id]->out_[d];
+      link.nbr = routers_[nbr].get();
+      link.nbr_port = static_cast<int>(opposite(static_cast<Dir>(d)));
+    }
+  }
+  eng_.register_tickable(this);
+}
+
+void Network::inject(const WormPtr& worm) {
+  assert(!worm->path.empty());
+  assert(!worm->dests.empty());
+  assert(worm->adaptive || worm->dests.back().node == worm->path.back());
+  worm->inject_cycle = eng_.now();
+  worm->length_flits = std::max(worm->length_flits, 2);
+  ++stats_.worms_injected;
+  if (worm->path.size() == 1 && worm->dests.back().node == worm->src) {
+    // Self-delivery: bypass the network but keep it off the critical path of
+    // this cycle's handlers.
+    worm->deliver_cycle = eng_.now();
+    stats_.worm_latency.add(0.0);
+    ++stats_.worms_delivered;
+    eng_.schedule_after(1, [this, worm] {
+      if (deliver_) deliver_(worm->src, worm);
+    });
+    return;
+  }
+  ++in_flight_;
+  ++queued_worms_;
+  ifaces_[worm->src].inject_q[static_cast<int>(worm->vnet)].push_back(worm);
+}
+
+void Network::reinject(NodeId at, const WormPtr& worm) {
+  // Deferred gather worm resuming its path from `at`.
+  assert(worm->path[worm->head_hop] == at);
+  ++queued_worms_;
+  ifaces_[at].inject_q[static_cast<int>(worm->vnet)].push_back(worm);
+}
+
+void Network::post_iack(NodeId at, TxnId txn, int count) {
+  ++pending_posts_;
+  ifaces_[at].pending_posts.emplace_back(txn, count);
+}
+
+void Network::try_pending_posts(NodeId n) {
+  auto& iface = ifaces_[n];
+  std::size_t remaining = iface.pending_posts.size();
+  while (remaining-- > 0) {
+    auto [txn, count] = iface.pending_posts.front();
+    iface.pending_posts.pop_front();
+    bool accepted = false;
+    auto released = routers_[n]->bank().post(txn, count, &accepted);
+    if (!accepted) {
+      iface.pending_posts.emplace_back(txn, count);  // bank full; retry
+      continue;
+    }
+    --pending_posts_;
+    if (released.has_value()) reinject(n, *released);
+  }
+}
+
+void Network::service_injection(NodeId n, Cycle now) {
+  auto& iface = ifaces_[n];
+  Router& r = *routers_[n];
+  const int local = static_cast<int>(Dir::Local);
+  for (int v = 0; v < params_.inj_vcs_total(); ++v) {
+    auto& st = iface.streaming[v];
+    InputVc& ivc = r.vc(local, v);
+    if (st.worm == nullptr) {
+      // Start a new worm on this VC if one of matching vnet is queued.
+      const int vnet = v / params_.inj_vcs_per_vnet;
+      auto& q = iface.inject_q[vnet];
+      if (q.empty() || !ivc.free()) continue;
+      st.worm = q.front();
+      q.pop_front();
+      st.flits_pushed = 0;
+      ivc.owner = st.worm;
+    }
+    // Stream at most one flit per cycle into the Local input VC.
+    if (static_cast<int>(ivc.buf.size()) >= params_.vc_buffer_flits) continue;
+    const bool head = st.flits_pushed == 0;
+    const bool tail = st.flits_pushed == st.worm->length_flits - 1;
+    ivc.buf.push_back(Flit{st.worm, head, tail, now});
+    ++live_flits_;
+    ++r.active_work_;
+    if (head) ivc.ready_at = now + params_.router_delay;
+    ++st.flits_pushed;
+    if (tail) {
+      st.worm = nullptr;
+      st.flits_pushed = 0;
+      --queued_worms_;
+    }
+  }
+}
+
+void Network::on_delivery(NodeId where, const WormPtr& worm, bool final_dest,
+                          Cycle now) {
+  if (final_dest) {
+    worm->deliver_cycle = now;
+    stats_.worm_latency.add(static_cast<double>(now - worm->inject_cycle));
+    ++stats_.worms_delivered;
+    assert(in_flight_ > 0);
+    --in_flight_;
+  }
+  if (deliver_) deliver_(where, worm);
+}
+
+void Network::on_gather_deposit(NodeId at, const WormPtr& worm) {
+  ++stats_.gather_deposits;
+  assert(in_flight_ > 0);
+  --in_flight_;
+  post_iack(at, worm->txn, worm->gathered);
+}
+
+bool Network::tick(Cycle now) {
+  if (live_flits_ == 0 && queued_worms_ == 0 && pending_posts_ == 0)
+    return false;
+  const int n = mesh_.num_nodes();
+  const int start = rotate_;
+  rotate_ = (rotate_ + 1) % n;
+  for (int i = 0; i < n; ++i) {
+    const NodeId id = (start + i) % n;
+    if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
+    routers_[id]->drain_consumption(now);
+  }
+  for (int i = 0; i < n; ++i) {
+    const NodeId id = (start + i) % n;
+    service_injection(id, now);
+  }
+  for (int i = 0; i < n; ++i) routers_[(start + i) % n]->allocate(now);
+  for (int i = 0; i < n; ++i) routers_[(start + i) % n]->traverse(now);
+  return true;
+}
+
+} // namespace mdw::noc

@@ -1,0 +1,114 @@
+// Whole-network model: a W x H mesh of wormhole routers plus one network
+// interface (NI) per node.
+//
+// The Network is a sim::Tickable: each cycle it runs the three router phases
+// over all routers (with a rotating start index so allocation arbitration is
+// fair across nodes) and services the per-node injection queues.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "noc/router.h"
+#include "noc/routing.h"
+#include "sim/engine.h"
+#include "sim/stats.h"
+
+namespace mdw::noc {
+
+/// Per-node network interface state.
+struct NetIface {
+  /// Worms waiting to enter the router's Local port, per virtual network.
+  std::array<std::deque<WormPtr>, kNumVNets> inject_q;
+  /// Worm currently streaming flits into a Local input VC, per Local VC.
+  struct Streaming {
+    WormPtr worm;
+    int flits_pushed = 0;
+  };
+  std::vector<Streaming> streaming;
+  /// i-ack posts that found the bank full and must retry.
+  std::deque<std::pair<TxnId, int>> pending_posts;
+};
+
+struct NetworkStats {
+  std::uint64_t worms_injected = 0;
+  std::uint64_t worms_delivered = 0;       // final-destination deliveries
+  std::uint64_t absorb_deliveries = 0;     // intermediate-destination copies
+  std::uint64_t link_flit_hops = 0;        // flits crossing inter-router links
+  std::uint64_t gather_deferred = 0;       // gather worms parked in a bank
+  std::uint64_t gather_deposits = 0;       // gather worms ending in a bank
+  sim::Sampler worm_latency;               // inject -> final delivery
+};
+
+class Network : public sim::Tickable {
+public:
+  using DeliveryHandler = std::function<void(NodeId where, const WormPtr&)>;
+
+  Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& params);
+
+  [[nodiscard]] const MeshShape& mesh() const { return mesh_; }
+  [[nodiscard]] const NocParams& params() const { return params_; }
+  [[nodiscard]] Router& router(NodeId id) { return *routers_[id]; }
+  [[nodiscard]] NetworkStats& stats() { return stats_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Engine& engine() { return eng_; }
+
+  /// Called once per final or intermediate `Deliver` completion.
+  void set_delivery_handler(DeliveryHandler h) { deliver_ = std::move(h); }
+
+  /// Queue `worm` for injection at its source node.  Self-deliveries
+  /// (path == {src}) complete immediately through the delivery handler.
+  void inject(const WormPtr& worm);
+
+  /// Post an invalidation acknowledgment into node `at`'s i-ack bank.  If a
+  /// deferred gather worm completes, it is re-injected automatically.  Full
+  /// banks are retried every cycle by the NI.
+  void post_iack(NodeId at, TxnId txn, int count);
+
+  /// Number of worms injected but not yet fully delivered/absorbed.
+  [[nodiscard]] std::uint64_t worms_in_flight() const { return in_flight_; }
+
+  /// Per-link flit counts (for hot-spot analysis): indexed [node][dir].
+  [[nodiscard]] std::uint64_t link_flits(NodeId n, Dir d) const {
+    return link_flits_[n][static_cast<int>(d)];
+  }
+
+  bool tick(Cycle now) override;
+
+  // --- used by Router -----------------------------------------------------
+  void count_link_flit(NodeId from, Dir d) {
+    ++stats_.link_flit_hops;
+    ++link_flits_[from][static_cast<int>(d)];
+  }
+  void on_delivery(NodeId where, const WormPtr& worm, bool final_dest, Cycle now);
+  void on_gather_deferred() { ++stats_.gather_deferred; }
+  /// A non-trunk gather worm finished by sinking into `at`'s i-ack bank.
+  void on_gather_deposit(NodeId at, const WormPtr& worm);
+  /// Live-flit accounting, used for cheap global activity detection.
+  void on_flit_removed() { --live_flits_; }
+  void on_flit_copied() { ++live_flits_; }
+
+private:
+  void service_injection(NodeId n, Cycle now);
+  void try_pending_posts(NodeId n);
+  void reinject(NodeId at, const WormPtr& worm);
+
+  sim::Engine& eng_;
+  MeshShape mesh_;
+  NocParams params_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<NetIface> ifaces_;
+  std::vector<std::array<std::uint64_t, kNumLinkDirs>> link_flits_;
+  DeliveryHandler deliver_;
+  NetworkStats stats_;
+  std::uint64_t in_flight_ = 0;
+  std::int64_t live_flits_ = 0;      // flits resident in any buffer
+  std::int64_t queued_worms_ = 0;    // queued or still streaming in
+  std::int64_t pending_posts_ = 0;
+  int rotate_ = 0;
+};
+
+} // namespace mdw::noc

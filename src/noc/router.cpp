@@ -1,0 +1,330 @@
+#include "noc/router.h"
+
+#include <cassert>
+
+#include "noc/network.h"
+
+namespace mdw::noc {
+
+Router::Router(Network& net, NodeId id, const NocParams& p)
+    : net_(net), id_(id), params_(p), cons_(p.consumption_channels),
+      bank_(p.iack_entries) {
+  for (int port = 0; port < kNumPorts; ++port) {
+    vcs_[port].resize(static_cast<std::size_t>(num_vcs(port)));
+  }
+}
+
+std::pair<int, int> Router::vc_range(int port, VNet vnet) const {
+  const int per = port == static_cast<int>(Dir::Local) ? params_.inj_vcs_per_vnet
+                                                       : params_.vcs_per_vnet;
+  const int first = static_cast<int>(vnet) * per;
+  return {first, first + per};
+}
+
+int Router::find_free_cons_channel() const {
+  for (std::size_t i = 0; i < cons_.size(); ++i)
+    if (!cons_[i].busy()) return static_cast<int>(i);
+  return -1;
+}
+
+void Router::drain_consumption(Cycle now) {
+  if (active_work_ == 0) return;
+  for (auto& ch : cons_) {
+    if (ch.buf.empty() || ch.buf.front().arrival >= now) continue;
+    const Flit f = ch.buf.front();
+    ch.buf.pop_front();
+    --active_work_;
+    net_.on_flit_removed();
+    ++stats_.flits_consumed;
+    if (f.tail) {
+      const WormPtr w = ch.worm;
+      const bool fin = ch.final_dest;
+      ch.worm = nullptr;
+      ch.final_dest = false;
+      net_.on_delivery(id_, w, fin, now);
+    }
+  }
+}
+
+bool Router::try_allocate_head(InputVc& v, Cycle now) {
+  assert(!v.buf.empty() && v.buf.front().head && !v.routed);
+  if (now < v.ready_at) return false;  // router pipeline delay
+  const WormPtr& w = v.owner;
+  assert(w != nullptr);
+  assert(w->path[w->head_hop] == id_);
+
+  const NodeId adaptive_dst = w->dests.back().node;
+  if (w->adaptive && w->head_hop + 2 >= w->path.size() &&
+      id_ != adaptive_dst) {
+    // Dynamic adaptive unicast: extend (or re-decide) the next hop, picking
+    // the permitted direction whose downstream VCs have the most free space.
+    if (w->head_hop + 2 == w->path.size()) w->path.pop_back();  // re-decide
+    const auto algo = static_cast<RoutingAlgo>(w->adaptive_algo);
+    const auto dirs = permitted_dirs(algo, net_.mesh(), id_, adaptive_dst);
+    assert(!dirs.empty());
+    int best_space = -1;
+    NodeId best = kInvalidNode;
+    for (Dir dir : dirs) {
+      const OutLink& link = out_[static_cast<int>(dir)];
+      auto [lo, hi] = link.nbr->vc_range(link.nbr_port, w->vnet);
+      if (w->vc_class >= 0) {
+        lo = lo + w->vc_class;
+        hi = lo + 1;
+      }
+      int space = 0;
+      for (int cand = lo; cand < hi; ++cand) {
+        const InputVc& dvc = link.nbr->vc(link.nbr_port, cand);
+        if (dvc.free()) space += params_.vc_buffer_flits;
+      }
+      if (space > best_space) {
+        best_space = space;
+        best = net_.mesh().neighbor(id_, dir);
+      }
+    }
+    w->path.push_back(best);
+  }
+
+  const bool last_router = (w->head_hop + 1 == w->path.size());
+  const bool is_dest =
+      w->next_dest < w->dests.size() && w->dests[w->next_dest].node == id_;
+  assert(is_dest || !last_router);
+
+  const DestAction action =
+      is_dest ? w->dests[w->next_dest].action : DestAction::Deliver;
+
+  // Resource acquisition is all-or-nothing: probe first, then commit.
+  int out_port = -1, out_vc = -1;
+  if (!last_router) {
+    const NodeId next = w->path[w->head_hop + 1];
+    out_port = static_cast<int>(net_.mesh().step_dir(id_, next));
+    const OutLink& link = out_[out_port];
+    auto [lo, hi] = link.nbr->vc_range(link.nbr_port, w->vnet);
+    if (w->vc_class >= 0) {
+      assert(w->vc_class < params_.vcs_per_vnet);
+      lo = lo + w->vc_class;
+      hi = lo + 1;
+    }
+    for (int cand = lo; cand < hi; ++cand) {
+      if (link.nbr->vc(link.nbr_port, cand).free()) {
+        out_vc = cand;
+        break;
+      }
+    }
+  }
+
+  if (is_dest && action == DestAction::GatherDeposit) {
+    // Final destination of a non-trunk gather: the worm sinks into this
+    // router's i-ack bank and its count is posted there (via the NI retry
+    // queue, so a momentarily full bank cannot deadlock the channel).
+    assert(w->kind == WormKind::Gather && last_router);
+    w->next_dest += 1;
+    v.routed = true;
+    v.drain_to_bank = true;
+    v.deposit_at_tail = true;
+    return true;
+  }
+
+  if (is_dest && action == DestAction::GatherPickup) {
+    assert(w->kind == WormKind::Gather && !last_router);
+    // Completed entry -> pick up and move on (needs the output VC).
+    // Incomplete -> park in the bank (virtual cut-through, no output needed).
+    bool blocked = false;
+    if (out_vc < 0) {
+      // Cannot tell yet whether the pickup completes; to keep the decision
+      // simple (and conservative) we require the output VC before touching
+      // the bank, matching a hardware pipeline that allocates the VC first.
+      // Exception: if the entry is certainly incomplete we may park now.
+      auto parked = bank_.pickup(w->txn, w->dests[w->next_dest].expected_posts,
+                                 w, &blocked);
+      if (blocked) {
+        ++stats_.bank_blocked_cycles;
+        ++stats_.alloc_stall_cycles;
+        return false;
+      }
+      if (parked.has_value()) {
+        // Entry was already complete but we lack an output VC: we consumed
+        // the count, carry it and wait for the VC next cycle.
+        w->gathered += *parked;
+        w->next_dest += 1;
+        // Re-mark as a plain forward from here on (no dest at this router).
+        ++stats_.alloc_stall_cycles;
+        return false;
+      }
+      // Parked: worm drains into the bank.
+      w->next_dest += 1;
+      v.routed = true;
+      v.drain_to_bank = true;
+      net_.on_gather_deferred();
+      return true;
+    }
+    auto parked = bank_.pickup(w->txn, w->dests[w->next_dest].expected_posts,
+                               w, &blocked);
+    if (blocked) {
+      ++stats_.bank_blocked_cycles;
+      ++stats_.alloc_stall_cycles;
+      return false;
+    }
+    w->next_dest += 1;
+    v.routed = true;
+    if (parked.has_value()) {
+      w->gathered += *parked;
+      v.out_port = out_port;
+      v.out_vc = out_vc;
+      OutLink& link = out_[out_port];
+      link.nbr->vc(link.nbr_port, out_vc).owner = w;
+    } else {
+      v.drain_to_bank = true;
+      net_.on_gather_deferred();
+    }
+    return true;
+  }
+
+  // Non-gather processing.
+  const bool needs_cons =
+      is_dest && (action == DestAction::Deliver ||
+                  action == DestAction::DeliverAndReserve);
+  const bool needs_reserve =
+      is_dest && (action == DestAction::DeliverAndReserve ||
+                  action == DestAction::ReserveOnly);
+  assert(!(action == DestAction::ReserveOnly && last_router));
+
+  int cons_ch = -1;
+  if (needs_cons) {
+    cons_ch = find_free_cons_channel();
+    if (cons_ch < 0) {
+      ++stats_.cons_blocked_cycles;
+      ++stats_.alloc_stall_cycles;
+      return false;
+    }
+  }
+  if (!last_router && out_vc < 0) {
+    ++stats_.alloc_stall_cycles;
+    return false;
+  }
+  if (needs_reserve &&
+      !bank_.reserve(w->txn, w->dests[w->next_dest].expected_posts)) {
+    ++stats_.bank_blocked_cycles;
+    ++stats_.alloc_stall_cycles;
+    return false;
+  }
+
+  // Commit.
+  v.routed = true;
+  v.final_here = last_router;
+  v.deliver_here = needs_cons;
+  if (needs_cons) {
+    v.cons_ch = cons_ch;
+    cons_[cons_ch].worm = w;
+    cons_[cons_ch].final_dest = last_router;
+  }
+  if (!last_router) {
+    v.out_port = out_port;
+    v.out_vc = out_vc;
+    OutLink& link = out_[out_port];
+    link.nbr->vc(link.nbr_port, out_vc).owner = w;
+  }
+  if (is_dest) w->next_dest += 1;
+  return true;
+}
+
+void Router::allocate(Cycle now) {
+  if (active_work_ == 0) return;
+  for (int port = 0; port < kNumPorts; ++port) {
+    for (auto& v : vcs_[port]) {
+      if (!v.routed && !v.buf.empty() && v.buf.front().head &&
+          v.buf.front().arrival < now) {
+        (void)try_allocate_head(v, now);
+      }
+    }
+  }
+}
+
+void Router::move_one_flit(int /*port*/, InputVc& v, Cycle now) {
+  const Flit f = v.buf.front();
+  const WormPtr w = v.owner;
+
+  if (v.drain_to_bank) {
+    v.buf.pop_front();
+    net_.on_flit_removed();
+    --active_work_;
+    if (f.tail && v.deposit_at_tail) net_.on_gather_deposit(id_, w);
+  } else if (v.final_here) {
+    auto& ch = cons_[v.cons_ch];
+    v.buf.pop_front();
+    ch.buf.push_back(Flit{w, f.head, f.tail, now});
+    // flit stays resident (moved within this router): no live-flit change
+  } else {
+    OutLink& link = out_[v.out_port];
+    link.used_this_cycle = true;
+    InputVc& dvc = link.nbr->vc(link.nbr_port, v.out_vc);
+    v.buf.pop_front();
+    dvc.buf.push_back(Flit{w, f.head, f.tail, now});
+    --active_work_;
+    ++link.nbr->active_work_;
+    if (f.head) {
+      w->head_hop += 1;
+      dvc.ready_at = now + params_.router_delay;
+    }
+    ++stats_.flits_forwarded;
+    net_.count_link_flit(id_, static_cast<Dir>(v.out_port));
+    if (v.deliver_here) {
+      auto& ch = cons_[v.cons_ch];
+      ch.buf.push_back(Flit{w, f.head, f.tail, now});
+      ++active_work_;
+      net_.on_flit_copied();
+      if (f.tail) ++net_.stats().absorb_deliveries;
+    }
+  }
+
+  if (f.tail) {
+    // Worm tail has left this VC: release it.
+    v.owner = nullptr;
+    if (v.drain_to_bank) {
+      // Worm is now fully parked in the bank.
+    }
+    v.reset_route();
+  }
+}
+
+bool Router::can_move(const InputVc& v, Cycle now) const {
+  if (!v.routed || v.buf.empty() || v.buf.front().arrival >= now) return false;
+  if (v.drain_to_bank) return true;
+  if (v.final_here) {
+    const auto& ch = cons_[v.cons_ch];
+    return static_cast<int>(ch.buf.size()) < params_.cons_buffer_flits;
+  }
+  const OutLink& link = out_[v.out_port];
+  if (link.used_this_cycle) return false;
+  const InputVc& dvc =
+      const_cast<Router*>(link.nbr)->vc(link.nbr_port, v.out_vc);
+  if (static_cast<int>(dvc.buf.size()) >= params_.vc_buffer_flits) return false;
+  if (v.deliver_here) {
+    const auto& ch = cons_[v.cons_ch];
+    if (static_cast<int>(ch.buf.size()) >= params_.cons_buffer_flits)
+      return false;
+  }
+  return true;
+}
+
+void Router::traverse(Cycle now) {
+  for (auto& link : out_) link.used_this_cycle = false;
+  if (active_work_ == 0) return;
+  for (int pi = 0; pi < kNumPorts; ++pi) {
+    const int port = (rr_port_ + pi) % kNumPorts;
+    const int nv = num_vcs(port);
+    for (int vi = 0; vi < nv; ++vi) {
+      const int vidx = (rr_vc_[port] + vi) % nv;
+      InputVc& v = vcs_[port][vidx];
+      if (can_move(v, now)) {
+        move_one_flit(port, v, now);
+        rr_vc_[port] = (vidx + 1) % nv;
+        break;  // one flit per input port per cycle
+      }
+    }
+  }
+  rr_port_ = (rr_port_ + 1) % kNumPorts;
+}
+
+bool Router::busy() const { return active_work_ > 0; }
+
+} // namespace mdw::noc

@@ -1,0 +1,154 @@
+// Input-buffered wormhole router with virtual channels, multidestination
+// (forward-and-absorb) support, consumption channels, and an i-ack buffer
+// bank at the router interface.
+//
+// Microarchitecture (per cycle, orchestrated by Network):
+//   1. consumption-channel drain: each of the C consumption channels hands
+//      one flit per cycle to the node; a drained tail triggers delivery.
+//   2. allocation: the head flit at the front of an input VC (after the
+//      router pipeline delay) computes its action at this router (forward /
+//      absorb / reserve / gather-pickup / consume) and acquires every
+//      resource it needs — downstream VC, consumption channel, i-ack buffer
+//      entry — atomically (hold-and-wait on the set it cannot get).
+//   3. switch traversal: each input port forwards at most one flit; each
+//      output link accepts at most one flit (physical channel bandwidth);
+//      forward-and-absorb additionally copies the flit into the allocated
+//      consumption channel.
+//
+// Flits become visible to the next pipeline stage one cycle after they move
+// (arrival-cycle gating), so a flit advances at most one hop per cycle.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "noc/geometry.h"
+#include "noc/iack_buffer.h"
+#include "noc/worm.h"
+#include "sim/types.h"
+
+namespace mdw::noc {
+
+struct NocParams {
+  // Two VCs per vnet by default: the turn-model schemes segregate
+  // west-first-class and east-first-class gather traffic by VC class.
+  int vcs_per_vnet = 2;
+  int inj_vcs_per_vnet = 2;    // injection (Local-port) VCs per virtual network
+  int vc_buffer_flits = 4;     // input VC buffer depth
+  int router_delay = 4;        // header pipeline delay per hop, cycles (20 ns)
+  int consumption_channels = 4;    // per router interface ([39]: 4 suffice)
+  int cons_buffer_flits = 2;       // consumption channel buffer depth
+  int iack_entries = 4;            // i-ack buffer entries per interface
+
+  [[nodiscard]] int vcs_total() const { return kNumVNets * vcs_per_vnet; }
+  [[nodiscard]] int inj_vcs_total() const { return kNumVNets * inj_vcs_per_vnet; }
+};
+
+struct Flit {
+  WormPtr worm;
+  bool head = false;
+  bool tail = false;
+  Cycle arrival = 0;
+};
+
+class Router;
+
+/// One directional inter-router or injection channel endpoint.
+struct InputVc {
+  std::deque<Flit> buf;
+  WormPtr owner;            // worm holding this VC (claim -> tail departure)
+  bool routed = false;      // head processed at this router
+  Cycle ready_at = 0;       // header pipeline gate
+  int out_port = -1;        // allocated output direction (0..3), -1 if none
+  int out_vc = -1;
+  int cons_ch = -1;         // allocated consumption channel, -1 if none
+  bool drain_to_bank = false;  // deferred gather: flits sink into i-ack bank
+  bool deposit_at_tail = false;  // GatherDeposit: post count when tail sinks
+  bool deliver_here = false;   // copy flits into the consumption channel
+  bool final_here = false;     // worm terminates at this router
+
+  [[nodiscard]] bool free() const { return owner == nullptr && buf.empty(); }
+  void reset_route() {
+    routed = false;
+    out_port = out_vc = cons_ch = -1;
+    drain_to_bank = deposit_at_tail = deliver_here = final_here = false;
+  }
+};
+
+struct ConsumptionChannel {
+  WormPtr worm;             // worm being consumed, nullptr when free
+  bool final_dest = false;  // consuming at the worm's final destination?
+  std::deque<Flit> buf;
+  [[nodiscard]] bool busy() const { return worm != nullptr; }
+};
+
+/// Aggregate activity counters, kept by each router.
+struct RouterStats {
+  std::uint64_t flits_forwarded = 0;   // flits sent over an output link
+  std::uint64_t flits_consumed = 0;    // flits handed to the local node
+  std::uint64_t alloc_stall_cycles = 0;
+  std::uint64_t cons_blocked_cycles = 0;  // absorb blocked on consumption ch.
+  std::uint64_t bank_blocked_cycles = 0;  // reserve/pickup blocked on bank
+};
+
+class Network;
+
+class Router {
+public:
+  Router(Network& net, NodeId id, const NocParams& p);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] IAckBufferBank& bank() { return bank_; }
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+
+  /// Phase 1: drain consumption channels (<=1 flit per channel per cycle).
+  void drain_consumption(Cycle now);
+  /// Phase 2: route + resource allocation for heads at VC fronts.
+  void allocate(Cycle now);
+  /// Phase 3: switch traversal; moves flits out of input VCs.
+  void traverse(Cycle now);
+
+  /// True if any flit or claimed VC is present (activity detection).
+  [[nodiscard]] bool busy() const;
+
+private:
+  friend class Network;
+
+  struct OutLink {
+    Router* nbr = nullptr;
+    int nbr_port = -1;  // input port index at the neighbour
+    bool used_this_cycle = false;
+  };
+
+  [[nodiscard]] InputVc& vc(int port, int v) { return vcs_[port][v]; }
+  [[nodiscard]] int num_vcs(int port) const {
+    return port == static_cast<int>(Dir::Local) ? params_.inj_vcs_total()
+                                                : params_.vcs_total();
+  }
+  /// VC-index range [first, last) usable by worms of `vnet` on `port`.
+  [[nodiscard]] std::pair<int, int> vc_range(int port, VNet vnet) const;
+
+  bool try_allocate_head(InputVc& v, Cycle now);
+  [[nodiscard]] bool can_move(const InputVc& v, Cycle now) const;
+  void move_one_flit(int port, InputVc& v, Cycle now);
+  int find_free_cons_channel() const;
+
+  Network& net_;
+  NodeId id_;
+  NocParams params_;
+  // vcs_[port][vc]; ports 0..3 = N,S,E,W links, port 4 = Local (injection).
+  std::array<std::vector<InputVc>, kNumPorts> vcs_;
+  std::array<OutLink, kNumLinkDirs> out_;
+  std::vector<ConsumptionChannel> cons_;
+  IAckBufferBank bank_;
+  RouterStats stats_;
+  /// Flits resident in this router (input VCs + consumption channels); used
+  /// to skip idle routers cheaply.
+  int active_work_ = 0;
+  int rr_port_ = 0;  // round-robin pointers
+  std::array<int, kNumPorts> rr_vc_{};
+};
+
+} // namespace mdw::noc

@@ -1,0 +1,123 @@
+#include "noc/routing.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mdw::noc {
+
+const char* routing_name(RoutingAlgo a) {
+  switch (a) {
+    case RoutingAlgo::EcubeXY: return "ecube-xy";
+    case RoutingAlgo::EcubeYX: return "ecube-yx";
+    case RoutingAlgo::WestFirst: return "west-first";
+    case RoutingAlgo::EastFirst: return "east-first";
+  }
+  return "?";
+}
+
+std::vector<Dir> permitted_dirs(RoutingAlgo algo, const MeshShape& mesh,
+                                NodeId cur, NodeId dst) {
+  const Coord c = mesh.coord_of(cur), d = mesh.coord_of(dst);
+  const int dx = d.x - c.x, dy = d.y - c.y;
+  std::vector<Dir> out;
+  if (dx == 0 && dy == 0) return out;
+  switch (algo) {
+    case RoutingAlgo::EcubeXY:
+      if (dx > 0) out.push_back(Dir::East);
+      else if (dx < 0) out.push_back(Dir::West);
+      else if (dy > 0) out.push_back(Dir::North);
+      else out.push_back(Dir::South);
+      break;
+    case RoutingAlgo::EcubeYX:
+      if (dy > 0) out.push_back(Dir::North);
+      else if (dy < 0) out.push_back(Dir::South);
+      else if (dx > 0) out.push_back(Dir::East);
+      else out.push_back(Dir::West);
+      break;
+    case RoutingAlgo::WestFirst:
+      // All west hops must be taken first and exclusively.
+      if (dx < 0) {
+        out.push_back(Dir::West);
+      } else {
+        if (dx > 0) out.push_back(Dir::East);
+        if (dy > 0) out.push_back(Dir::North);
+        if (dy < 0) out.push_back(Dir::South);
+      }
+      break;
+    case RoutingAlgo::EastFirst:
+      if (dx > 0) {
+        out.push_back(Dir::East);
+      } else {
+        if (dx < 0) out.push_back(Dir::West);
+        if (dy > 0) out.push_back(Dir::North);
+        if (dy < 0) out.push_back(Dir::South);
+      }
+      break;
+  }
+  return out;
+}
+
+namespace {
+
+// Legal-turn predicate: may a worm that last moved `from` now move `to`?
+bool legal_turn(RoutingAlgo algo, Dir from, Dir to) {
+  if (to == opposite(from)) return false; // 180-degree turns never allowed
+  const bool to_x = (to == Dir::East || to == Dir::West);
+  const bool from_x = (from == Dir::East || from == Dir::West);
+  switch (algo) {
+    case RoutingAlgo::EcubeXY:
+      // Only X->Y turns; straight-through always fine.
+      return from == to || (from_x && !to_x);
+    case RoutingAlgo::EcubeYX:
+      return from == to || (!from_x && to_x);
+    case RoutingAlgo::WestFirst:
+      // No turn may enter West.
+      return to != Dir::West || from == Dir::West;
+    case RoutingAlgo::EastFirst:
+      return to != Dir::East || from == Dir::East;
+  }
+  return false;
+}
+
+} // namespace
+
+bool is_conformant_path(RoutingAlgo algo, const MeshShape& mesh,
+                        const std::vector<NodeId>& path) {
+  if (path.size() < 2) return true;
+  std::set<std::pair<NodeId, NodeId>> used_channels;
+  Dir prev = Dir::Local;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!mesh.adjacent(path[i], path[i + 1])) return false;
+    if (!used_channels.insert({path[i], path[i + 1]}).second) return false;
+    const Dir d = mesh.step_dir(path[i], path[i + 1]);
+    if (i > 0 && !legal_turn(algo, prev, d)) return false;
+    prev = d;
+  }
+  return true;
+}
+
+std::vector<NodeId> unicast_path(RoutingAlgo algo, const MeshShape& mesh,
+                                 NodeId src, NodeId dst) {
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  while (cur != dst) {
+    const auto dirs = permitted_dirs(algo, mesh, cur, dst);
+    // Deterministic choice: first permitted direction (dimension order
+    // within the turn-model constraints).
+    cur = mesh.neighbor(cur, dirs.front());
+    path.push_back(cur);
+  }
+  return path;
+}
+
+RoutingAlgo reply_algo_for(RoutingAlgo request_algo) {
+  switch (request_algo) {
+    case RoutingAlgo::EcubeXY: return RoutingAlgo::EcubeYX;
+    case RoutingAlgo::EcubeYX: return RoutingAlgo::EcubeXY;
+    case RoutingAlgo::WestFirst: return RoutingAlgo::EastFirst;
+    case RoutingAlgo::EastFirst: return RoutingAlgo::WestFirst;
+  }
+  return RoutingAlgo::EcubeYX;
+}
+
+} // namespace mdw::noc

@@ -1,0 +1,47 @@
+// Base routing schemes and BRCP path-conformance validation.
+//
+// The BRCP model (Panda et al. [39]) lets a multidestination worm follow any
+// path that a unicast message could legally take under the network's base
+// routing scheme.  We support:
+//   * EcubeXY    — deterministic dimension order, X then Y (request network)
+//   * EcubeYX    — Y then X (reply network paired with EcubeXY)
+//   * WestFirst  — turn model: all West hops first, then adaptive {E,N,S}
+//   * EastFirst  — mirror of WestFirst (reply network paired with WestFirst)
+#pragma once
+
+#include <vector>
+
+#include "noc/geometry.h"
+
+namespace mdw::noc {
+
+enum class RoutingAlgo : std::uint8_t { EcubeXY, EcubeYX, WestFirst, EastFirst };
+
+[[nodiscard]] const char* routing_name(RoutingAlgo a);
+
+/// Directions a *minimal* unicast message at `cur` heading for `dst` may take
+/// under `algo`.  Empty when cur == dst.
+[[nodiscard]] std::vector<Dir> permitted_dirs(RoutingAlgo algo, const MeshShape& mesh,
+                                              NodeId cur, NodeId dst);
+
+/// True iff `path` (a sequence of adjacent nodes, first = source) is a legal
+/// walk under `algo`, i.e. some unicast message could traverse it.  This is
+/// the BRCP validity check used by every multidestination path builder.
+/// Additionally rejects paths that reuse a directed channel (multidestination
+/// worms must be simple paths for deadlock freedom).
+[[nodiscard]] bool is_conformant_path(RoutingAlgo algo, const MeshShape& mesh,
+                                      const std::vector<NodeId>& path);
+
+/// Build the deterministic minimal unicast path src -> dst (inclusive of both
+/// endpoints) under `algo`.  For the adaptive schemes this returns one legal
+/// minimal path (dimension-order within the permitted turns).
+[[nodiscard]] std::vector<NodeId> unicast_path(RoutingAlgo algo, const MeshShape& mesh,
+                                               NodeId src, NodeId dst);
+
+/// Reply-network routing conventionally paired with a request-network scheme
+/// (separate logical networks break request/reply protocol deadlock; pairing
+/// XY with YX and WestFirst with EastFirst additionally gives gather worms
+/// the path shapes the schemes in src/core need).
+[[nodiscard]] RoutingAlgo reply_algo_for(RoutingAlgo request_algo);
+
+} // namespace mdw::noc

@@ -1,0 +1,116 @@
+// Worm (wormhole message) descriptor and per-destination actions.
+//
+// Every message in the system is a worm: a header (carrying the
+// source-routed path and the destination list), a payload body, and a tail.
+// Multidestination worms list several destinations in path order; the action
+// performed at each destination's router interface distinguishes the worm
+// types of the paper:
+//
+//   Deliver            ordinary consumption (final dest of any worm, and
+//                      forward-and-absorb at intermediate dests of a
+//                      multicast worm)
+//   DeliverAndReserve  forward-and-absorb + reserve an i-ack buffer entry
+//                      (i-reserve worms of the MI-MA frameworks)
+//   ReserveOnly        reserve an i-ack buffer entry without delivering to
+//                      the node (used at "column leader" routers by the
+//                      hierarchical gather scheme; no consumption channel
+//                      needed)
+//   GatherPickup       pick up the accumulated i-ack count from the i-ack
+//                      buffer; defer (virtual cut-through into the buffer)
+//                      when it has not been posted yet (i-gather worms)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "noc/geometry.h"
+#include "sim/types.h"
+
+namespace mdw::noc {
+
+enum class VNet : std::uint8_t { Request = 0, Reply = 1 };
+inline constexpr int kNumVNets = 2;
+
+enum class DestAction : std::uint8_t {
+  Deliver,
+  DeliverAndReserve,
+  ReserveOnly,
+  GatherPickup,
+  /// Final destination of a non-trunk i-gather worm in the hierarchical
+  /// scheme: the worm sinks into this router's i-ack bank, posting its
+  /// accumulated count there instead of delivering to the node.
+  GatherDeposit,
+};
+
+struct DestSpec {
+  NodeId node = kInvalidNode;
+  DestAction action = DestAction::Deliver;
+  /// For reservation actions: how many i-ack posts this router must see
+  /// before its entry is complete (usually 1; >1 at hierarchical leaders).
+  std::uint16_t expected_posts = 1;
+};
+
+/// Opaque payload base; the protocol layer derives its message types from it.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+enum class WormKind : std::uint8_t {
+  Unicast,    // single destination
+  Multicast,  // i-reserve / plain multicast: forward-and-absorb at dests
+  Gather,     // i-gather: picks up i-acks at dests, delivers total at final
+};
+
+struct Worm {
+  WormId id = 0;
+  WormKind kind = WormKind::Unicast;
+  VNet vnet = VNet::Request;
+  TxnId txn = 0;
+  NodeId src = kInvalidNode;
+
+  /// Full hop sequence, path[0] == src, path.back() == final destination.
+  /// Always non-empty; a self-delivery has path == {src}.
+  std::vector<NodeId> path;
+
+  /// Destinations in path order; the final destination is dests.back() and
+  /// must equal path.back().  For Unicast worms this has exactly one entry.
+  std::vector<DestSpec> dests;
+
+  /// Total worm length in flits (header + payload + tail).
+  int length_flits = 1;
+
+  /// Virtual-channel class within the worm's vnet, or -1 for any VC.  Used
+  /// to segregate west-first-conformant and east-first-conformant gather
+  /// traffic on the reply network (mixing the two turn models on one VC
+  /// class would reintroduce channel-dependency cycles).
+  int vc_class = -1;
+
+  /// Dynamic adaptive unicast: the path is extended hop by hop at each
+  /// router, choosing among the directions `adaptive_algo` permits by
+  /// downstream buffer occupancy.  Only meaningful for Unicast worms under
+  /// a turn-model routing (the only base routings with per-hop choice that
+  /// stay deadlock-free without escape channels).
+  bool adaptive = false;
+  std::uint8_t adaptive_algo = 0;  // RoutingAlgo, kept POD to avoid includes
+
+  std::shared_ptr<const Payload> payload;
+
+  // --- Runtime state (owned by the network while in flight) -------------
+  /// Index into `path` of the router currently holding the header.
+  std::size_t head_hop = 0;
+  /// Index into `dests` of the next destination not yet reached.
+  std::size_t next_dest = 0;
+  /// Gather worms: acknowledgments accumulated so far.
+  int gathered = 0;
+  /// Injection / final-delivery timestamps (cycles), for latency stats.
+  Cycle inject_cycle = 0;
+  Cycle deliver_cycle = 0;
+
+  [[nodiscard]] NodeId final_dest() const { return path.back(); }
+  [[nodiscard]] bool is_multidest() const { return dests.size() > 1; }
+};
+
+using WormPtr = std::shared_ptr<Worm>;
+
+} // namespace mdw::noc

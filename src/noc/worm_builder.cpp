@@ -1,0 +1,99 @@
+#include "noc/worm_builder.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace mdw::noc {
+
+namespace {
+std::atomic<WormId> g_next_worm_id{1};
+}
+
+bool worm_is_well_formed(const MeshShape& mesh, RoutingAlgo algo,
+                         const Worm& w) {
+  if (w.path.empty() || w.dests.empty()) return false;
+  if (w.dests.back().node != w.path.back()) return false;
+  if (!is_conformant_path(algo, mesh, w.path)) return false;
+  // Destinations must appear in path order and be unique.
+  std::size_t cursor = 0;
+  for (const auto& d : w.dests) {
+    bool found = false;
+    while (cursor < w.path.size()) {
+      if (w.path[cursor] == d.node) {
+        found = true;
+        ++cursor;  // next dest must be strictly later in the path
+        break;
+      }
+      ++cursor;
+    }
+    if (!found) return false;
+  }
+  for (const auto& d : w.dests) {
+    const bool gather_action = d.action == DestAction::GatherPickup ||
+                               d.action == DestAction::GatherDeposit;
+    if (gather_action && w.kind != WormKind::Gather) return false;
+    if (d.action == DestAction::ReserveOnly && d.node == w.path.back())
+      return false;
+    if (d.action == DestAction::GatherDeposit && d.node != w.path.back())
+      return false;
+  }
+  return true;
+}
+
+WormPtr make_unicast(const MeshShape& mesh, RoutingAlgo algo, VNet vnet,
+                     NodeId src, NodeId dst, int length_flits, TxnId txn,
+                     std::shared_ptr<const Payload> payload) {
+  auto w = std::make_shared<Worm>();
+  w->id = g_next_worm_id++;
+  w->kind = WormKind::Unicast;
+  w->vnet = vnet;
+  w->txn = txn;
+  w->src = src;
+  w->path = unicast_path(algo, mesh, src, dst);
+  w->dests = {DestSpec{dst, DestAction::Deliver, 1}};
+  w->length_flits = length_flits;
+  w->payload = std::move(payload);
+  assert(worm_is_well_formed(mesh, algo, *w));
+  return w;
+}
+
+WormPtr make_adaptive_unicast(RoutingAlgo algo, VNet vnet, NodeId src,
+                              NodeId dst, int length_flits, TxnId txn,
+                              std::shared_ptr<const Payload> payload) {
+  assert(algo == RoutingAlgo::WestFirst || algo == RoutingAlgo::EastFirst);
+  auto w = std::make_shared<Worm>();
+  w->id = g_next_worm_id++;
+  w->kind = WormKind::Unicast;
+  w->vnet = vnet;
+  w->txn = txn;
+  w->src = src;
+  w->path = {src};  // extended hop by hop inside the routers
+  w->dests = {DestSpec{dst, DestAction::Deliver, 1}};
+  w->length_flits = length_flits;
+  w->payload = std::move(payload);
+  w->adaptive = true;
+  w->adaptive_algo = static_cast<std::uint8_t>(algo);
+  return w;
+}
+
+WormPtr make_multidest(const MeshShape& mesh, RoutingAlgo algo, WormKind kind,
+                       VNet vnet, std::vector<NodeId> path,
+                       std::vector<DestSpec> dests, int length_flits,
+                       TxnId txn, std::shared_ptr<const Payload> payload) {
+  auto w = std::make_shared<Worm>();
+  w->id = g_next_worm_id++;
+  w->kind = kind;
+  w->vnet = vnet;
+  w->txn = txn;
+  w->src = path.front();
+  w->path = std::move(path);
+  w->dests = std::move(dests);
+  w->length_flits = length_flits;
+  w->payload = std::move(payload);
+  assert(worm_is_well_formed(mesh, algo, *w));
+  (void)mesh;
+  (void)algo;
+  return w;
+}
+
+} // namespace mdw::noc

@@ -1,0 +1,64 @@
+// Cycle-driven simulation engine.
+//
+// The network is simulated by ticking every registered component once per
+// cycle (flit movement is inherently synchronous); everything else (memory
+// latencies, controller occupancy, processor think time) uses the event
+// queue.  A cycle with no due events and no component activity is skipped
+// over by fast-forwarding to the next event, which keeps long idle phases
+// cheap without sacrificing cycle accuracy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace mdw::sim {
+
+/// A component that must be evaluated every cycle while the network is busy.
+class Tickable {
+public:
+  virtual ~Tickable() = default;
+  /// Advance one cycle. Returns true if the component did (or could soon do)
+  /// any work, false if it is completely idle.
+  virtual bool tick(Cycle now) = 0;
+};
+
+class Engine {
+public:
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  /// Components are ticked in registration order each cycle.
+  void register_tickable(Tickable* t) { tickables_.push_back(t); }
+
+  void schedule_at(Cycle when, EventQueue::Callback cb) {
+    queue_.schedule_at(when, std::move(cb));
+  }
+  void schedule_after(Cycle delay, EventQueue::Callback cb) {
+    queue_.schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run until `pred` returns true, the queue drains with all components
+  /// idle, or `max_cycles` elapse.  Returns true iff `pred` was satisfied.
+  bool run_until(const std::function<bool()>& pred, Cycle max_cycles);
+
+  /// Run until quiescent (no events, all components idle) or `max_cycles`.
+  /// Returns true iff the simulation quiesced.
+  bool run_to_quiescence(Cycle max_cycles);
+
+  /// Advance exactly `n` cycles regardless of activity.
+  void run_for(Cycle n);
+
+private:
+  /// Execute one cycle: due events first (they may inject traffic), then the
+  /// synchronous component sweep. Returns true if anything happened.
+  bool step();
+
+  Cycle now_ = 0;
+  EventQueue queue_;
+  std::vector<Tickable*> tickables_;
+};
+
+} // namespace mdw::sim

@@ -1,0 +1,55 @@
+// Time-ordered callback queue used for component-level delays (memory access
+// completion, controller occupancy release, processor think time, ...).
+//
+// Ties are broken by insertion order so simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace mdw::sim {
+
+class EventQueue {
+public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to fire at absolute cycle `when`.
+  void schedule_at(Cycle when, Callback cb) {
+    heap_.push(Entry{when, seq_++, std::move(cb)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Earliest pending event time; only valid when !empty().
+  [[nodiscard]] Cycle next_time() const { return heap_.top().when; }
+
+  /// Pop and run every event scheduled at or before `now`.  Events scheduled
+  /// by a running callback for time <= now run in the same call.
+  void run_due(Cycle now) {
+    while (!heap_.empty() && heap_.top().when <= now) {
+      // Move the callback out before popping so it can schedule new events.
+      Callback cb = std::move(const_cast<Entry&>(heap_.top()).cb);
+      heap_.pop();
+      cb();
+    }
+  }
+
+private:
+  struct Entry {
+    Cycle when;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Entry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+} // namespace mdw::sim

@@ -1,0 +1,16 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace mdw::sim {
+
+std::uint64_t Rng::next_geometric(double mean) {
+  if (mean <= 1.0) return 1;
+  const double p = 1.0 / mean;
+  // Inverse-CDF sampling; clamp the uniform away from 0 to avoid log(0).
+  const double u = std::max(next_double(), 1e-18);
+  const double g = std::log(u) / std::log(1.0 - p);
+  return static_cast<std::uint64_t>(std::max(1.0, std::ceil(g)));
+}
+
+} // namespace mdw::sim

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// xoshiro256** seeded via SplitMix64, per the reference implementations of
+// Blackman & Vigna.  We avoid <random> engines in the hot path: the simulator
+// draws millions of values and mt19937_64 state is needlessly large.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mdw::sim {
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into the four state words.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : state_) w = next();
+  }
+
+  [[nodiscard]] std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method without the rejection loop is fine
+    // here: bias is < 2^-32 for the bounds the simulator uses (< 2^32).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  [[nodiscard]] bool next_bool(double p) { return next_double() < p; }
+
+  /// Geometric inter-arrival gap with mean `mean` (>= 1).
+  [[nodiscard]] std::uint64_t next_geometric(double mean);
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+} // namespace mdw::sim

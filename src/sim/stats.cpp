@@ -1,0 +1,18 @@
+#include "sim/stats.h"
+
+namespace mdw::sim {
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = sampler_.count();
+  if (total == 0) return 0.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return lo_ + width_ * static_cast<double>(i + 1);
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+} // namespace mdw::sim

@@ -1,0 +1,72 @@
+// Lightweight statistics accumulators used by the metric collectors.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mdw::sim {
+
+/// Streaming mean / min / max / stddev (Welford).
+class Sampler {
+public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = Sampler{}; }
+
+private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width bucket histogram with overflow bucket.
+class Histogram {
+public:
+  Histogram(double lo, double bucket_width, std::size_t buckets)
+      : lo_(lo), width_(bucket_width), counts_(buckets + 1, 0) {}
+
+  void add(double x) {
+    sampler_.add(x);
+    if (x < lo_) x = lo_;
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    counts_[std::min(idx, counts_.size() - 1)]++;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return counts_;
+  }
+  [[nodiscard]] const Sampler& sampler() const { return sampler_; }
+
+  /// Value below which `q` (0..1) of the samples fall, bucket-resolution.
+  [[nodiscard]] double quantile(double q) const;
+
+private:
+  double lo_, width_;
+  std::vector<std::uint64_t> counts_;
+  Sampler sampler_;
+};
+
+} // namespace mdw::sim

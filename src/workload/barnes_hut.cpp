@@ -1,0 +1,234 @@
+#include <cassert>
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/rng.h"
+#include "workload/apps.h"
+
+namespace mdw::workload {
+
+namespace {
+
+struct Body {
+  double x, y, vx, vy, ax, ay, mass;
+};
+
+struct QuadNode {
+  double cx, cy, half;        // square region: center + half-extent
+  double mx = 0, my = 0, m = 0;  // center of mass (accumulated)
+  int body = -1;              // leaf body index, -1 if internal/empty
+  bool internal = false;
+  int child[4] = {-1, -1, -1, -1};
+  int block = 0;              // shared-memory block modelled for this node
+};
+
+class QuadTree {
+public:
+  explicit QuadTree(double half) {
+    nodes_.push_back(QuadNode{0.0, 0.0, half});
+  }
+
+  void insert(int b, const std::vector<Body>& bodies) {
+    insert_into(0, b, bodies);
+  }
+
+  void finalize() {
+    // Assign shared blocks (bounded pool: blocks are reused across steps,
+    // so rebuilding the tree invalidates all prior readers) and compute
+    // centers of mass bottom-up.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i].block = static_cast<int>(i % kTreeSlots);
+    }
+    if (!nodes_.empty()) summarize(0);
+  }
+
+  [[nodiscard]] const std::vector<QuadNode>& nodes() const { return nodes_; }
+
+  /// Accumulate the force on body b; `visit` is called with each tree node
+  /// block that the traversal reads.
+  template <typename Visit>
+  void force(int b, std::vector<Body>& bodies, double theta,
+             Visit&& visit) const {
+    force_from(0, b, bodies, theta, visit);
+  }
+
+  static constexpr int kTreeSlots = 256;
+
+private:
+  int quadrant_of(const QuadNode& n, const Body& b) const {
+    return (b.x >= n.cx ? 1 : 0) + (b.y >= n.cy ? 2 : 0);
+  }
+
+  void insert_into(int ni, int b, const std::vector<Body>& bodies) {
+    QuadNode& n = nodes_[ni];
+    if (!n.internal && n.body < 0) {  // empty leaf
+      n.body = b;
+      return;
+    }
+    if (!n.internal) {  // occupied leaf: split
+      const int old = n.body;
+      n.body = -1;
+      n.internal = true;
+      insert_child(ni, old, bodies);
+    }
+    insert_child(ni, b, bodies);
+  }
+
+  void insert_child(int ni, int b, const std::vector<Body>& bodies) {
+    const int q = quadrant_of(nodes_[ni], bodies[b]);
+    if (nodes_[ni].child[q] < 0) {
+      const QuadNode& n = nodes_[ni];
+      const double h = n.half / 2;
+      QuadNode child{n.cx + (q & 1 ? h : -h), n.cy + (q & 2 ? h : -h), h};
+      nodes_.push_back(child);
+      nodes_[ni].child[q] = static_cast<int>(nodes_.size() - 1);
+    }
+    insert_into(nodes_[ni].child[q], b, bodies);
+  }
+
+  void summarize(int ni) {
+    QuadNode& n = nodes_[ni];
+    if (!n.internal) {
+      if (n.body >= 0) {
+        n.m = body_mass_;  // bodies have unit mass (set below per call)
+      }
+      return;
+    }
+    n.mx = n.my = n.m = 0;
+    for (int c : n.child) {
+      if (c < 0) continue;
+      summarize(c);
+      n.m += nodes_[c].m;
+      n.mx += nodes_[c].mx * nodes_[c].m;
+      n.my += nodes_[c].my * nodes_[c].m;
+    }
+    if (n.m > 0) {
+      n.mx /= n.m;
+      n.my /= n.m;
+    }
+  }
+
+public:
+  /// Called before summarize to let leaves know body positions/masses.
+  void set_leaf_coms(const std::vector<Body>& bodies) {
+    for (auto& n : nodes_) {
+      if (!n.internal && n.body >= 0) {
+        n.mx = bodies[n.body].x;
+        n.my = bodies[n.body].y;
+        n.m = bodies[n.body].mass;
+      }
+    }
+  }
+
+private:
+  template <typename Visit>
+  void force_from(int ni, int b, std::vector<Body>& bodies, double theta,
+                  Visit& visit) const {
+    const QuadNode& n = nodes_[ni];
+    if (n.m <= 0) return;
+    if (!n.internal && n.body == b) return;  // self
+    visit(n.block);
+    Body& body = bodies[b];
+    const double dx = n.mx - body.x, dy = n.my - body.y;
+    const double dist2 = dx * dx + dy * dy + 1e-4;  // softening
+    const double dist = std::sqrt(dist2);
+    if (!n.internal || (2 * n.half) / dist < theta) {
+      const double f = n.m / (dist2 * dist);
+      body.ax += f * dx;
+      body.ay += f * dy;
+      return;
+    }
+    for (int c : n.child) {
+      if (c >= 0) force_from(c, b, bodies, theta, visit);
+    }
+  }
+
+  std::vector<QuadNode> nodes_;
+  double body_mass_ = 1.0;
+};
+
+} // namespace
+
+Trace barnes_hut_trace(int nprocs, int nbodies, int steps, std::uint64_t seed,
+                       BarnesHutResult* result) {
+  sim::Rng rng(seed);
+  std::vector<Body> bodies(static_cast<std::size_t>(nbodies));
+  for (auto& b : bodies) {
+    b.x = rng.next_double() * 2 - 1;
+    b.y = rng.next_double() * 2 - 1;
+    b.vx = (rng.next_double() - 0.5) * 0.1;
+    b.vy = (rng.next_double() - 0.5) * 0.1;
+    b.mass = 1.0;
+    b.ax = b.ay = 0;
+  }
+
+  TraceBuilder tb(nprocs);
+  const double dt = 0.01, theta = 0.5;
+  std::size_t tree_nodes_total = 0;
+
+  auto owner = [&](int body) { return body % nprocs; };
+
+  for (int step = 0; step < steps; ++step) {
+    // --- Phase 1: tree build (processor 0). ------------------------------
+    double extent = 1.0;
+    for (const auto& b : bodies) {
+      extent = std::max({extent, std::abs(b.x), std::abs(b.y)});
+    }
+    QuadTree tree(extent * 1.01);
+    for (int b = 0; b < nbodies; ++b) {
+      tb.read(0, kBodyPosBase + static_cast<BlockAddr>(b));
+      tree.insert(b, bodies);
+    }
+    tree.set_leaf_coms(bodies);
+    tree.finalize();
+    tree_nodes_total += tree.nodes().size();
+    for (const auto& n : tree.nodes()) {
+      tb.write(0, kTreeBase + static_cast<BlockAddr>(n.block));
+    }
+    tb.barrier();
+
+    // --- Phase 2: force computation (partitioned over bodies). -----------
+    for (auto& b : bodies) b.ax = b.ay = 0;
+    for (int b = 0; b < nbodies; ++b) {
+      const int p = owner(b);
+      tb.read(p, kBodyPosBase + static_cast<BlockAddr>(b));
+      int last_block = -1;
+      tree.force(b, bodies, theta, [&](int blk) {
+        if (blk != last_block) {  // consecutive repeats hit in the cache
+          tb.read(p, kTreeBase + static_cast<BlockAddr>(blk));
+          last_block = blk;
+        }
+      });
+      tb.write(p, kBodyAccBase + static_cast<BlockAddr>(b));
+    }
+    tb.barrier();
+
+    // --- Phase 3: position update. ----------------------------------------
+    for (int b = 0; b < nbodies; ++b) {
+      const int p = owner(b);
+      tb.read(p, kBodyAccBase + static_cast<BlockAddr>(b));
+      tb.read(p, kBodyVelBase + static_cast<BlockAddr>(b));
+      bodies[b].vx += bodies[b].ax * dt;
+      bodies[b].vy += bodies[b].ay * dt;
+      bodies[b].x += bodies[b].vx * dt;
+      bodies[b].y += bodies[b].vy * dt;
+      tb.write(p, kBodyVelBase + static_cast<BlockAddr>(b));
+      tb.write(p, kBodyPosBase + static_cast<BlockAddr>(b));
+    }
+    tb.barrier();
+  }
+
+  if (result != nullptr) {
+    result->x.clear();
+    result->y.clear();
+    for (const auto& b : bodies) {
+      result->x.push_back(b.x);
+      result->y.push_back(b.y);
+    }
+    result->tree_nodes_built = tree_nodes_total;
+  }
+  return tb.take();
+}
+
+} // namespace mdw::workload

@@ -1,0 +1,198 @@
+#include <cassert>
+#include <cmath>
+
+#include "sim/rng.h"
+#include "workload/apps.h"
+
+namespace mdw::workload {
+
+namespace {
+
+/// Dense column-major-ish helpers on a row-major n x n matrix.
+class Matrix {
+public:
+  Matrix(int n, std::vector<double>& data) : n_(n), a_(data) {}
+  double& at(int i, int j) { return a_[static_cast<std::size_t>(i) * n_ + j]; }
+  [[nodiscard]] double at(int i, int j) const {
+    return a_[static_cast<std::size_t>(i) * n_ + j];
+  }
+
+private:
+  int n_;
+  std::vector<double>& a_;
+};
+
+} // namespace
+
+Trace lu_trace(int nprocs, int n, int block, std::uint64_t seed,
+               LuResult* result) {
+  assert(n % block == 0);
+  const int nb = n / block;  // blocks per dimension
+
+  // 2-D cyclic owner map over a near-square processor grid.
+  int pr = 1;
+  while ((pr + 1) * (pr + 1) <= nprocs && nprocs % (pr + 1) == 0) ++pr;
+  const int pc = nprocs / pr;
+  auto owner = [&](int bi, int bj) { return (bi % pr) * pc + (bj % pc); };
+  auto blk_addr = [&](int bi, int bj) {
+    return kLuBase + static_cast<BlockAddr>(bi * nb + bj);
+  };
+
+  // Diagonally dominant random matrix (LU without pivoting stays stable).
+  sim::Rng rng(seed);
+  std::vector<double> data(static_cast<std::size_t>(n) * n);
+  for (auto& v : data) v = rng.next_double() - 0.5;
+  std::vector<double> original = data;
+  Matrix a(n, data);
+  for (int i = 0; i < n; ++i) {
+    a.at(i, i) += n;
+    original[static_cast<std::size_t>(i) * n + i] += n;
+  }
+
+  TraceBuilder tb(nprocs);
+
+  for (int k = 0; k < nb; ++k) {
+    const int k0 = k * block;
+    // --- Diagonal factorization: owner of (k,k). --------------------------
+    {
+      const int p = owner(k, k);
+      tb.read(p, blk_addr(k, k));
+      for (int j = k0; j < k0 + block; ++j) {
+        for (int i = j + 1; i < k0 + block; ++i) {
+          a.at(i, j) /= a.at(j, j);
+          for (int l = j + 1; l < k0 + block; ++l) {
+            a.at(i, l) -= a.at(i, j) * a.at(j, l);
+          }
+        }
+      }
+      tb.write(p, blk_addr(k, k));
+    }
+    tb.barrier();
+
+    // --- Perimeter: row k and column k blocks. -----------------------------
+    for (int j = k + 1; j < nb; ++j) {  // row blocks (k, j): L^-1 apply
+      const int p = owner(k, j);
+      tb.read(p, blk_addr(k, k));
+      tb.read(p, blk_addr(k, j));
+      const int j0 = j * block;
+      for (int jj = j0; jj < j0 + block; ++jj) {
+        for (int c = k0; c < k0 + block; ++c) {
+          for (int r = c + 1; r < k0 + block; ++r) {
+            a.at(r, jj) -= a.at(r, c) * a.at(c, jj);
+          }
+        }
+      }
+      tb.write(p, blk_addr(k, j));
+    }
+    for (int i = k + 1; i < nb; ++i) {  // column blocks (i, k): U^-1 apply
+      const int p = owner(i, k);
+      tb.read(p, blk_addr(k, k));
+      tb.read(p, blk_addr(i, k));
+      const int i0 = i * block;
+      for (int r = i0; r < i0 + block; ++r) {
+        for (int c = k0; c < k0 + block; ++c) {
+          double sum = a.at(r, c);
+          for (int l = k0; l < c; ++l) sum -= a.at(r, l) * a.at(l, c);
+          a.at(r, c) = sum / a.at(c, c);
+        }
+      }
+      tb.write(p, blk_addr(i, k));
+    }
+    tb.barrier();
+
+    // --- Interior update (i, j) -= (i, k) * (k, j). ------------------------
+    for (int i = k + 1; i < nb; ++i) {
+      for (int j = k + 1; j < nb; ++j) {
+        const int p = owner(i, j);
+        tb.read(p, blk_addr(i, k));
+        tb.read(p, blk_addr(k, j));
+        tb.read(p, blk_addr(i, j));
+        const int i0 = i * block, j0 = j * block;
+        for (int r = i0; r < i0 + block; ++r) {
+          for (int c = j0; c < j0 + block; ++c) {
+            double sum = a.at(r, c);
+            for (int l = k0; l < k0 + block; ++l) {
+              sum -= a.at(r, l) * a.at(l, c);
+            }
+            a.at(r, c) = sum;
+          }
+        }
+        tb.write(p, blk_addr(i, j));
+      }
+    }
+    tb.barrier();
+  }
+
+  if (result != nullptr) {
+    result->n = n;
+    result->lu = data;
+    // Residual: max |A - L*U|.
+    double maxerr = 0;
+    Matrix lu(n, data);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double sum = 0;
+        const int kmax = std::min(i, j);
+        for (int l = 0; l < kmax; ++l) sum += lu.at(i, l) * lu.at(l, j);
+        // L has unit diagonal.
+        sum += i <= j ? lu.at(i, j) : lu.at(i, j) * lu.at(j, j);
+        maxerr = std::max(maxerr,
+                          std::abs(original[static_cast<std::size_t>(i) * n + j] -
+                                   sum));
+      }
+    }
+    result->residual = maxerr;
+  }
+  return tb.take();
+}
+
+Trace apsp_trace(int nprocs, int nverts, std::uint64_t seed,
+                 ApspResult* result) {
+  sim::Rng rng(seed);
+  constexpr std::uint32_t kInf = 1u << 29;
+  std::vector<std::uint32_t> dist(
+      static_cast<std::size_t>(nverts) * nverts, kInf);
+  auto d = [&](int i, int j) -> std::uint32_t& {
+    return dist[static_cast<std::size_t>(i) * nverts + j];
+  };
+  for (int i = 0; i < nverts; ++i) {
+    d(i, i) = 0;
+    for (int j = 0; j < nverts; ++j) {
+      if (i != j && rng.next_bool(0.25)) {
+        d(i, j) = 1 + static_cast<std::uint32_t>(rng.next_below(100));
+      }
+    }
+  }
+
+  TraceBuilder tb(nprocs);
+  auto row_addr = [&](int i) { return kApsBase + static_cast<BlockAddr>(i); };
+  auto row_owner = [&](int i) { return i % nprocs; };
+
+  for (int k = 0; k < nverts; ++k) {
+    // Every processor reads the pivot row, then relaxes its own rows.
+    for (int p = 0; p < nprocs; ++p) tb.read(p, row_addr(k));
+    for (int i = 0; i < nverts; ++i) {
+      const int p = row_owner(i);
+      if (i == k) continue;
+      tb.read(p, row_addr(i));
+      bool changed = false;
+      for (int j = 0; j < nverts; ++j) {
+        const std::uint32_t via = d(i, k) + d(k, j);
+        if (via < d(i, j)) {
+          d(i, j) = via;
+          changed = true;
+        }
+      }
+      if (changed) tb.write(p, row_addr(i));
+    }
+    tb.barrier();
+  }
+
+  if (result != nullptr) {
+    result->n = nverts;
+    result->dist = std::move(dist);
+  }
+  return tb.take();
+}
+
+} // namespace mdw::workload

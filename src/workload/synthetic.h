@@ -1,0 +1,34 @@
+// Synthetic workload generators: controlled sharer patterns for the
+// invalidation experiments, and random mixed traffic.
+#pragma once
+
+#include <vector>
+
+#include "noc/geometry.h"
+#include "sim/rng.h"
+#include "workload/trace.h"
+
+namespace mdw::workload {
+
+/// Spatial distribution of the sharers of one block (paper §6: invalidation
+/// patterns).
+enum class SharerPattern {
+  Uniform,     // uniform random over the mesh
+  Cluster,     // contiguous square region around a random corner of the mesh
+  SameColumn,  // all sharers in the home's column (best case for EC schemes)
+  SameRow,     // all sharers in the home's row
+};
+
+[[nodiscard]] const char* pattern_name(SharerPattern p);
+
+/// Pick `d` distinct sharers (never the home or the writer).
+[[nodiscard]] std::vector<NodeId> make_sharers(sim::Rng& rng,
+                                               const noc::MeshShape& mesh,
+                                               NodeId home, NodeId writer,
+                                               int d, SharerPattern pattern);
+
+/// Random mixed read/write trace over a small shared block pool.
+[[nodiscard]] Trace random_trace(int nprocs, int ops_per_proc, int nblocks,
+                                 double write_fraction, std::uint64_t seed);
+
+} // namespace mdw::workload

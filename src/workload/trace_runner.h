@@ -1,0 +1,44 @@
+// Replays a Trace on a dsm::Machine: one logical processor per node (trace
+// processor i runs on mesh node i), sequentially-consistent issue (one
+// access at a time), centralized barriers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/machine.h"
+#include "workload/trace.h"
+
+namespace mdw::workload {
+
+struct RunResult {
+  Cycle cycles = 0;              // total execution time
+  std::size_t accesses = 0;      // reads + writes replayed
+  bool completed = false;
+};
+
+class TraceRunner {
+public:
+  /// `think_per_access`: fixed computation time modelled between accesses
+  /// (network cycles); stands in for the instructions between memory ops.
+  TraceRunner(dsm::Machine& m, const Trace& t, Cycle think_per_access = 4);
+
+  /// Replay to completion (or until `max_cycles` elapse).
+  [[nodiscard]] RunResult run(Cycle max_cycles = 2'000'000'000);
+
+private:
+  void step(int proc);
+  void reach_barrier(int proc, std::uint32_t id);
+
+  dsm::Machine& m_;
+  const Trace& t_;
+  Cycle think_;
+  std::vector<std::size_t> pc_;       // per-proc position in its stream
+  std::vector<bool> at_barrier_;
+  int done_procs_ = 0;
+  int barrier_waiting_ = 0;
+  std::uint32_t barrier_id_ = 0;
+  std::size_t accesses_ = 0;
+};
+
+} // namespace mdw::workload

@@ -1,0 +1,200 @@
+// Application-kernel tests: numerical correctness of the real computations
+// and structural sanity of the emitted traces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "workload/apps.h"
+#include "workload/synthetic.h"
+
+namespace mdw::workload {
+namespace {
+
+// --- trace structure helpers -------------------------------------------------
+
+void expect_valid_structure(const Trace& t) {
+  ASSERT_GT(t.nprocs, 0);
+  // Barriers appear in the same order in every stream and match the count.
+  for (int p = 0; p < t.nprocs; ++p) {
+    int barriers = 0;
+    std::uint32_t last = 0;
+    for (const auto& op : t.per_proc[p]) {
+      if (op.kind == OpKind::Barrier) {
+        EXPECT_EQ(op.arg, last);
+        ++last;
+        ++barriers;
+      }
+    }
+    EXPECT_EQ(barriers, t.num_barriers) << "proc " << p;
+  }
+}
+
+// --- Barnes-Hut ---------------------------------------------------------------
+
+TEST(BarnesHut, RunsAndIsDeterministic) {
+  BarnesHutResult r1, r2;
+  const Trace t1 = barnes_hut_trace(8, 64, 2, 42, &r1);
+  const Trace t2 = barnes_hut_trace(8, 64, 2, 42, &r2);
+  EXPECT_EQ(r1.x, r2.x);
+  EXPECT_EQ(t1.total_ops(), t2.total_ops());
+  expect_valid_structure(t1);
+  EXPECT_EQ(t1.num_barriers, 6);  // 3 phases x 2 steps
+}
+
+TEST(BarnesHut, BodiesActuallyMove) {
+  BarnesHutResult r;
+  (void)barnes_hut_trace(4, 32, 3, 7, &r);
+  ASSERT_EQ(r.x.size(), 32u);
+  // Gravity must have moved things; positions stay finite.
+  int moved = 0;
+  for (double v : r.x) {
+    EXPECT_TRUE(std::isfinite(v));
+    moved += (std::abs(v) > 1e-12);
+  }
+  EXPECT_GT(moved, 16);
+  EXPECT_GT(r.tree_nodes_built, 32u * 3 / 2);  // more nodes than bodies
+}
+
+TEST(BarnesHut, TreeBlocksAreReadShared) {
+  // Every processor's force phase must read tree blocks written by proc 0 —
+  // the access pattern the invalidation study feeds on.
+  const Trace t = barnes_hut_trace(8, 64, 1, 3);
+  int tree_writes_p0 = 0;
+  std::vector<int> tree_reads(8, 0);
+  for (int p = 0; p < 8; ++p) {
+    for (const auto& op : t.per_proc[p]) {
+      const bool tree = op.addr >= kTreeBase && op.addr < kTreeBase + 0x1000;
+      if (tree && op.kind == OpKind::Write && p == 0) ++tree_writes_p0;
+      if (tree && op.kind == OpKind::Read) ++tree_reads[p];
+    }
+  }
+  EXPECT_GT(tree_writes_p0, 0);
+  for (int p = 0; p < 8; ++p) EXPECT_GT(tree_reads[p], 0) << "proc " << p;
+}
+
+// --- LU -----------------------------------------------------------------------
+
+TEST(Lu, FactorizationResidualIsSmall) {
+  LuResult r;
+  const Trace t = lu_trace(16, 64, 8, 5, &r);
+  expect_valid_structure(t);
+  EXPECT_LT(r.residual, 1e-8);
+  EXPECT_EQ(t.num_barriers, 3 * (64 / 8));
+}
+
+TEST(Lu, PaperSizeFactorizes) {
+  LuResult r;
+  (void)lu_trace(16, 128, 8, 11, &r);  // the paper's 128x128, 8x8 blocks
+  EXPECT_LT(r.residual, 1e-8);
+}
+
+TEST(Lu, DiagonalBlockIsWrittenByOneOwnerPerStep) {
+  const Trace t = lu_trace(4, 32, 8, 9);
+  // Block (k,k) written exactly twice per elimination of a later stage...
+  // Simply check each LU block address is only ever written by one proc
+  // within any barrier-delimited phase.
+  const int nb = 32 / 8;
+  std::map<std::pair<int, BlockAddr>, std::set<int>> phase_writers;
+  for (int p = 0; p < 4; ++p) {
+    int phase = 0;
+    for (const auto& op : t.per_proc[p]) {
+      if (op.kind == OpKind::Barrier) ++phase;
+      if (op.kind == OpKind::Write) {
+        phase_writers[{phase, op.addr}].insert(p);
+      }
+    }
+  }
+  for (const auto& [key, writers] : phase_writers) {
+    EXPECT_EQ(writers.size(), 1u)
+        << "block " << key.second << " written by several procs in phase "
+        << key.first;
+  }
+  (void)nb;
+}
+
+// --- APSP ----------------------------------------------------------------------
+
+TEST(Apsp, MatchesDijkstraReference) {
+  ApspResult r;
+  (void)apsp_trace(8, 32, 21, &r);
+  const int n = r.n;
+  constexpr std::uint32_t kInf = 1u << 29;
+
+  // Reconstruct the input graph is not possible after FW, so verify with a
+  // second property: the result must satisfy the triangle inequality and be
+  // idempotent under one more relaxation sweep.
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        const auto dik = r.dist[static_cast<std::size_t>(i) * n + k];
+        const auto dkj = r.dist[static_cast<std::size_t>(k) * n + j];
+        const auto dij = r.dist[static_cast<std::size_t>(i) * n + j];
+        if (dik < kInf && dkj < kInf) {
+          EXPECT_LE(dij, dik + dkj) << i << "->" << j << " via " << k;
+        }
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(r.dist[static_cast<std::size_t>(i) * n + i], 0u);
+  }
+}
+
+TEST(Apsp, PivotRowIsReadByEveryProcessor) {
+  const Trace t = apsp_trace(8, 32, 4);
+  expect_valid_structure(t);
+  // In the first iteration (before barrier 0), every proc reads row 0.
+  for (int p = 0; p < 8; ++p) {
+    bool read_pivot = false;
+    for (const auto& op : t.per_proc[p]) {
+      if (op.kind == OpKind::Barrier) break;
+      if (op.kind == OpKind::Read && op.addr == kApsBase) read_pivot = true;
+    }
+    EXPECT_TRUE(read_pivot) << "proc " << p;
+  }
+}
+
+// --- synthetic -----------------------------------------------------------------
+
+TEST(Synthetic, SharerPatternsRespectConstraints) {
+  const noc::MeshShape mesh(8, 8);
+  sim::Rng rng(3);
+  for (auto pat : {SharerPattern::Uniform, SharerPattern::Cluster,
+                   SharerPattern::SameColumn, SharerPattern::SameRow}) {
+    for (int d : {1, 3, 6}) {
+      const NodeId home = 27, writer = 12;
+      const auto s = make_sharers(rng, mesh, home, writer, d, pat);
+      EXPECT_EQ(static_cast<int>(s.size()), d) << pattern_name(pat);
+      for (NodeId x : s) {
+        EXPECT_NE(x, home);
+        EXPECT_NE(x, writer);
+      }
+      if (pat == SharerPattern::SameColumn) {
+        for (NodeId x : s)
+          EXPECT_EQ(mesh.coord_of(x).x, mesh.coord_of(home).x);
+      }
+      if (pat == SharerPattern::SameRow) {
+        for (NodeId x : s)
+          EXPECT_EQ(mesh.coord_of(x).y, mesh.coord_of(home).y);
+      }
+    }
+  }
+}
+
+TEST(Synthetic, RandomTraceShapes) {
+  const Trace t = random_trace(4, 100, 16, 0.3, 77);
+  EXPECT_EQ(t.nprocs, 4);
+  EXPECT_EQ(t.total_accesses(), 400u);
+  int writes = 0;
+  for (const auto& s : t.per_proc) {
+    for (const auto& op : s) writes += (op.kind == OpKind::Write);
+  }
+  EXPECT_NEAR(writes, 120, 40);
+}
+
+} // namespace
+} // namespace mdw::workload

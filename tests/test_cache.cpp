@@ -1,0 +1,95 @@
+// Unit tests for the direct-mapped MSI cache model.
+#include <gtest/gtest.h>
+
+#include "dsm/cache.h"
+
+namespace mdw::dsm {
+namespace {
+
+TEST(Cache, MissOnEmpty) {
+  Cache c(16);
+  EXPECT_EQ(c.lookup(5), LineState::Invalid);
+}
+
+TEST(Cache, InstallThenHit) {
+  Cache c(16);
+  const auto ev = c.install(5, LineState::Shared, 42);
+  EXPECT_FALSE(ev.valid);
+  EXPECT_EQ(c.lookup(5), LineState::Shared);
+  EXPECT_EQ(c.value_of(5), 42u);
+}
+
+TEST(Cache, ConflictEviction) {
+  Cache c(16);
+  c.install(3, LineState::Modified, 7);
+  const auto ev = c.install(3 + 16, LineState::Shared, 9);  // same set
+  ASSERT_TRUE(ev.valid);
+  EXPECT_EQ(ev.addr, 3u);
+  EXPECT_TRUE(ev.dirty);
+  EXPECT_EQ(ev.value, 7u);
+  EXPECT_EQ(c.lookup(3), LineState::Invalid);
+  EXPECT_EQ(c.lookup(19), LineState::Shared);
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_EQ(c.stats().dirty_evictions, 1u);
+}
+
+TEST(Cache, CleanEvictionNotDirty) {
+  Cache c(8);
+  c.install(1, LineState::Shared, 1);
+  const auto ev = c.install(9, LineState::Shared, 2);
+  ASSERT_TRUE(ev.valid);
+  EXPECT_FALSE(ev.dirty);
+}
+
+TEST(Cache, ReinstallSameBlockIsNotEviction) {
+  Cache c(8);
+  c.install(1, LineState::Shared, 1);
+  const auto ev = c.install(1, LineState::Modified, 2);
+  EXPECT_FALSE(ev.valid);
+  EXPECT_EQ(c.lookup(1), LineState::Modified);
+}
+
+TEST(Cache, InvalidatePresentAndAbsent) {
+  Cache c(8);
+  c.install(1, LineState::Shared, 1);
+  EXPECT_TRUE(c.invalidate(1));
+  EXPECT_EQ(c.lookup(1), LineState::Invalid);
+  EXPECT_FALSE(c.invalidate(1));
+  EXPECT_FALSE(c.invalidate(99));
+  EXPECT_EQ(c.stats().invalidations_received, 3u);
+}
+
+TEST(Cache, DowngradeKeepsValue) {
+  Cache c(8);
+  c.install(2, LineState::Modified, 77);
+  EXPECT_EQ(c.downgrade(2), 77u);
+  EXPECT_EQ(c.lookup(2), LineState::Shared);
+  EXPECT_EQ(c.value_of(2), 77u);
+}
+
+TEST(Cache, DowngradeAbsentIsNoop) {
+  Cache c(8);
+  c.downgrade(4);
+  EXPECT_EQ(c.lookup(4), LineState::Invalid);
+}
+
+TEST(Cache, ForEachValidEnumeratesLines) {
+  Cache c(8);
+  c.install(1, LineState::Shared, 1);
+  c.install(2, LineState::Modified, 2);
+  int count = 0;
+  c.for_each_valid([&](const Cache::Line& l) {
+    ++count;
+    EXPECT_NE(l.state, LineState::Invalid);
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Cache, TagDisambiguation) {
+  Cache c(8);
+  c.install(3, LineState::Shared, 1);
+  EXPECT_EQ(c.lookup(11), LineState::Invalid);  // same set, different tag
+}
+
+} // namespace
+} // namespace mdw::dsm

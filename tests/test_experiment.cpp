@@ -1,0 +1,149 @@
+// Tests for the measurement harnesses and the table printer, including the
+// headline cross-scheme orderings on a small mesh (fast versions of the
+// bench experiments).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/experiment.h"
+#include "analysis/table.h"
+
+namespace mdw::analysis {
+namespace {
+
+InvalExperimentConfig quick(core::Scheme s, int d) {
+  InvalExperimentConfig cfg;
+  cfg.mesh = 8;
+  cfg.scheme = s;
+  cfg.d = d;
+  cfg.repetitions = 6;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Experiment, MeasuresSaneValues) {
+  const auto m = measure_invalidations(quick(core::Scheme::UiUa, 8));
+  EXPECT_GT(m.inval_latency, 0);
+  EXPECT_GT(m.write_latency, m.inval_latency);  // write includes req + grant
+  EXPECT_DOUBLE_EQ(m.request_worms, 8.0);       // UI-UA: one per sharer
+  EXPECT_DOUBLE_EQ(m.ack_messages, 8.0);
+  EXPECT_GT(m.traffic_flits, 0);
+  EXPECT_GT(m.occupancy, 0);
+}
+
+TEST(Experiment, MultidestinationBeatsUnicastAtHighSharing) {
+  const int d = 20;
+  const auto ui = measure_invalidations(quick(core::Scheme::UiUa, d));
+  const auto mi = measure_invalidations(quick(core::Scheme::EcCmUa, d));
+  const auto ma = measure_invalidations(quick(core::Scheme::EcCmHg, d));
+  // The paper's headline orderings.
+  EXPECT_LT(mi.request_worms, ui.request_worms);
+  EXPECT_LT(ma.messages, mi.messages);
+  EXPECT_LT(mi.inval_latency, ui.inval_latency);
+  EXPECT_LT(ma.inval_latency, ui.inval_latency);
+  EXPECT_LT(ma.occupancy, ui.occupancy);
+  EXPECT_LT(mi.traffic_flits, ui.traffic_flits);
+}
+
+TEST(Experiment, GatherSchemesCutAckMessages) {
+  const int d = 16;
+  const auto cg = measure_invalidations(quick(core::Scheme::EcCmCg, d));
+  const auto hg = measure_invalidations(quick(core::Scheme::EcCmHg, d));
+  const auto ua = measure_invalidations(quick(core::Scheme::EcCmUa, d));
+  EXPECT_LT(cg.ack_messages, ua.ack_messages);
+  EXPECT_LE(hg.ack_messages, cg.ack_messages);
+  EXPECT_LE(hg.ack_messages, 4.0);
+}
+
+TEST(Experiment, WfSerpentineUsesFewestRequestWorms) {
+  const int d = 20;
+  const auto ec = measure_invalidations(quick(core::Scheme::EcCmUa, d));
+  const auto wf = measure_invalidations(quick(core::Scheme::WfScUa, d));
+  EXPECT_LT(wf.request_worms, ec.request_worms);
+  EXPECT_LE(wf.request_worms, 2.0);
+}
+
+TEST(Experiment, ColumnPatternFavoursColumnScheme) {
+  auto cfg = quick(core::Scheme::EcCmCg, 6);
+  cfg.pattern = workload::SharerPattern::SameColumn;
+  const auto col = measure_invalidations(cfg);
+  // A whole column folds into at most 2 worms + 2 combined acks.
+  EXPECT_LE(col.request_worms, 2.0);
+  EXPECT_LE(col.ack_messages, 2.0);
+}
+
+TEST(Experiment, SingleTxnHarnessIsDeterministic) {
+  dsm::SystemParams p;
+  p.mesh_w = p.mesh_h = 8;
+  p.scheme = core::Scheme::EcCmCg;
+  const noc::MeshShape mesh(8, 8);
+  const NodeId home = mesh.id_of({3, 3});
+  const NodeId writer = mesh.id_of({6, 6});
+  std::vector<NodeId> sharers{mesh.id_of({3, 0}), mesh.id_of({3, 6}),
+                              mesh.id_of({5, 3}), mesh.id_of({1, 1})};
+  const auto a = measure_single_txn(p, home, writer, sharers);
+  const auto b = measure_single_txn(p, home, writer, sharers);
+  EXPECT_DOUBLE_EQ(a.inval_latency, b.inval_latency);
+  EXPECT_DOUBLE_EQ(a.traffic_flits, b.traffic_flits);
+  EXPECT_GT(a.inval_latency, 0);
+}
+
+TEST(Experiment, HotspotCompletesAndReportsLoad) {
+  HotspotConfig cfg;
+  cfg.mesh = 8;
+  cfg.scheme = core::Scheme::UiUa;
+  cfg.d = 8;
+  cfg.concurrent = 4;
+  cfg.rounds = 2;
+  const auto m = measure_hotspot(cfg);
+  EXPECT_GT(m.inval_latency, 0);
+  EXPECT_GT(m.makespan, m.inval_latency);
+  EXPECT_GT(m.traffic_flits, 0);
+}
+
+TEST(Experiment, HotSpotLinkLoadRelievedByMultidestination) {
+  // The paper's hot-spot anatomy: UI-UA concentrates flits on the links
+  // around the home; MI-MA flattens the profile.
+  const noc::MeshShape mesh(8, 8);
+  const NodeId home = mesh.id_of({4, 4});
+  const auto ui =
+      measure_link_load(core::Scheme::UiUa, 8, home, 16, 3, 7);
+  const auto ma =
+      measure_link_load(core::Scheme::EcCmHg, 8, home, 16, 3, 7);
+  // Hot-spot exists under UI-UA: home-adjacent links far above average.
+  EXPECT_GT(ui.home_adjacent_mean, 5 * ui.elsewhere_mean);
+  // ... and is substantially relieved by the MI-MA scheme.
+  EXPECT_LT(ma.home_adjacent_mean, ui.home_adjacent_mean);
+  EXPECT_LT(ma.home_row_mean, ui.home_row_mean);
+  EXPECT_LT(ma.max_link, ui.max_link + 1);
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"scheme", "latency", "msgs"});
+  t.add_row({"UI-UA", Table::num(123.45), Table::integer(16)});
+  t.add_row({"EC-CM-HG", Table::num(67.8), Table::integer(5)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("scheme"), std::string::npos);
+  EXPECT_NE(s.find("123.5"), std::string::npos);
+  EXPECT_NE(s.find("EC-CM-HG"), std::string::npos);
+  // All lines equal length (alignment).
+  std::istringstream is(s);
+  std::string line;
+  std::getline(is, line);
+  const auto w = line.size();
+  std::getline(is, line);
+  EXPECT_EQ(line.size(), w);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+} // namespace
+} // namespace mdw::analysis

@@ -1,0 +1,85 @@
+// Unit tests for mesh geometry: id/coordinate mapping, adjacency, step
+// directions, and edge behaviour.
+#include <gtest/gtest.h>
+
+#include "noc/geometry.h"
+
+namespace mdw::noc {
+namespace {
+
+TEST(Geometry, IdCoordRoundTrip) {
+  const MeshShape m(7, 5);
+  for (NodeId id = 0; id < m.num_nodes(); ++id) {
+    EXPECT_EQ(m.id_of(m.coord_of(id)), id);
+  }
+}
+
+TEST(Geometry, RowMajorLayout) {
+  const MeshShape m(4, 4);
+  EXPECT_EQ(m.id_of({0, 0}), 0);
+  EXPECT_EQ(m.id_of({3, 0}), 3);
+  EXPECT_EQ(m.id_of({0, 1}), 4);
+  EXPECT_EQ(m.id_of({3, 3}), 15);
+}
+
+TEST(Geometry, NeighborsInterior) {
+  const MeshShape m(4, 4);
+  const NodeId c = m.id_of({1, 1});
+  EXPECT_EQ(m.neighbor(c, Dir::East), m.id_of({2, 1}));
+  EXPECT_EQ(m.neighbor(c, Dir::West), m.id_of({0, 1}));
+  EXPECT_EQ(m.neighbor(c, Dir::North), m.id_of({1, 2}));
+  EXPECT_EQ(m.neighbor(c, Dir::South), m.id_of({1, 0}));
+}
+
+TEST(Geometry, NeighborsAtEdgesAreInvalid) {
+  const MeshShape m(4, 4);
+  EXPECT_EQ(m.neighbor(m.id_of({0, 0}), Dir::West), kInvalidNode);
+  EXPECT_EQ(m.neighbor(m.id_of({0, 0}), Dir::South), kInvalidNode);
+  EXPECT_EQ(m.neighbor(m.id_of({3, 3}), Dir::East), kInvalidNode);
+  EXPECT_EQ(m.neighbor(m.id_of({3, 3}), Dir::North), kInvalidNode);
+}
+
+TEST(Geometry, StepDirMatchesNeighbor) {
+  const MeshShape m(5, 5);
+  const NodeId c = m.id_of({2, 2});
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    const Dir dir = static_cast<Dir>(d);
+    const NodeId n = m.neighbor(c, dir);
+    ASSERT_NE(n, kInvalidNode);
+    EXPECT_EQ(m.step_dir(c, n), dir);
+    EXPECT_EQ(m.step_dir(n, c), opposite(dir));
+  }
+}
+
+TEST(Geometry, AdjacencyIsSymmetricAndCorrect) {
+  const MeshShape m(6, 3);
+  for (NodeId a = 0; a < m.num_nodes(); ++a) {
+    for (NodeId b = 0; b < m.num_nodes(); ++b) {
+      EXPECT_EQ(m.adjacent(a, b), m.adjacent(b, a));
+      EXPECT_EQ(m.adjacent(a, b), m.manhattan(a, b) == 1);
+    }
+  }
+}
+
+TEST(Geometry, ManhattanDistance) {
+  const MeshShape m(8, 8);
+  EXPECT_EQ(m.manhattan(m.id_of({0, 0}), m.id_of({7, 7})), 14);
+  EXPECT_EQ(m.manhattan(m.id_of({3, 4}), m.id_of({3, 4})), 0);
+}
+
+TEST(Geometry, OppositeDirections) {
+  EXPECT_EQ(opposite(Dir::North), Dir::South);
+  EXPECT_EQ(opposite(Dir::South), Dir::North);
+  EXPECT_EQ(opposite(Dir::East), Dir::West);
+  EXPECT_EQ(opposite(Dir::West), Dir::East);
+}
+
+TEST(Geometry, NonSquareMesh) {
+  const MeshShape m(2, 9);
+  EXPECT_EQ(m.num_nodes(), 18);
+  EXPECT_EQ(m.coord_of(17).x, 1);
+  EXPECT_EQ(m.coord_of(17).y, 8);
+}
+
+} // namespace
+} // namespace mdw::noc

@@ -1,0 +1,146 @@
+// Unit tests for the i-ack buffer bank: reservation, posting, gather pickup,
+// deferred delivery, and capacity behaviour.
+#include <gtest/gtest.h>
+
+#include "noc/iack_buffer.h"
+
+namespace mdw::noc {
+namespace {
+
+WormPtr make_worm(TxnId txn) {
+  auto w = std::make_shared<Worm>();
+  w->txn = txn;
+  w->kind = WormKind::Gather;
+  return w;
+}
+
+TEST(IAckBuffer, ReserveThenPostThenPickup) {
+  IAckBufferBank bank(4);
+  ASSERT_TRUE(bank.reserve(7, 1));
+  bool accepted = false;
+  EXPECT_FALSE(bank.post(7, 1, &accepted).has_value());
+  EXPECT_TRUE(accepted);
+  bool blocked = false;
+  const auto got = bank.pickup(7, 1, make_worm(7), &blocked);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1);
+  EXPECT_FALSE(blocked);
+  EXPECT_EQ(bank.entries_in_use(), 0);  // pickup frees the entry
+}
+
+TEST(IAckBuffer, PickupBeforePostDefers) {
+  IAckBufferBank bank(2);
+  ASSERT_TRUE(bank.reserve(3, 1));
+  auto w = make_worm(3);
+  bool blocked = false;
+  EXPECT_FALSE(bank.pickup(3, 1, w, &blocked).has_value());
+  EXPECT_FALSE(blocked);
+  EXPECT_EQ(bank.deferred_count(), 1u);
+  // The post releases the parked worm with the count accumulated.
+  bool accepted = false;
+  auto released = bank.post(3, 1, &accepted);
+  ASSERT_TRUE(accepted);
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ((*released).get(), w.get());
+  EXPECT_EQ(w->gathered, 1);
+  EXPECT_EQ(bank.entries_in_use(), 0);
+}
+
+TEST(IAckBuffer, MultiplePostsAccumulate) {
+  IAckBufferBank bank(4);
+  ASSERT_TRUE(bank.reserve(9, 3));
+  bool accepted = false;
+  EXPECT_FALSE(bank.post(9, 2, &accepted).has_value());
+  EXPECT_FALSE(bank.post(9, 5, &accepted).has_value());
+  EXPECT_FALSE(bank.post(9, 1, &accepted).has_value());
+  bool blocked = false;
+  const auto got = bank.pickup(9, 3, make_worm(9), &blocked);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 8);
+}
+
+TEST(IAckBuffer, IncompleteEntryDefersUntilAllPostsArrive) {
+  IAckBufferBank bank(4);
+  ASSERT_TRUE(bank.reserve(5, 2));
+  bool accepted = false;
+  EXPECT_FALSE(bank.post(5, 4, &accepted).has_value());
+  auto w = make_worm(5);
+  bool blocked = false;
+  EXPECT_FALSE(bank.pickup(5, 2, w, &blocked).has_value());  // 1 of 2 posts
+  EXPECT_FALSE(blocked);
+  auto released = bank.post(5, 6, &accepted);
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ(w->gathered, 10);
+}
+
+TEST(IAckBuffer, ReservationIsIdempotentAndRaisesExpected) {
+  IAckBufferBank bank(4);
+  // An early post demand-allocates with expected = 1; a late reservation
+  // raises the requirement to 2 without duplicating the entry.
+  bool accepted = false;
+  EXPECT_FALSE(bank.post(1, 1, &accepted).has_value());
+  ASSERT_TRUE(bank.reserve(1, 2));
+  ASSERT_TRUE(bank.reserve(1, 2));  // re-reservation is a no-op
+  EXPECT_EQ(bank.entries_in_use(), 1);
+  auto w = make_worm(1);
+  bool blocked = false;
+  EXPECT_FALSE(bank.pickup(1, 2, w, &blocked).has_value());  // 1 of 2 posts
+  auto released = bank.post(1, 1, &accepted);
+  ASSERT_TRUE(released.has_value());
+  EXPECT_EQ(w->gathered, 2);
+}
+
+TEST(IAckBuffer, ReserveFailsWhenFull) {
+  IAckBufferBank bank(2);
+  ASSERT_TRUE(bank.reserve(1, 1));
+  ASSERT_TRUE(bank.reserve(2, 1));
+  EXPECT_FALSE(bank.reserve(3, 1));
+  EXPECT_FALSE(bank.has_free());
+}
+
+TEST(IAckBuffer, PostDemandAllocatesWithoutReservation) {
+  IAckBufferBank bank(2);
+  bool accepted = false;
+  EXPECT_FALSE(bank.post(42, 1, &accepted).has_value());
+  EXPECT_TRUE(accepted);
+  EXPECT_EQ(bank.entries_in_use(), 1);
+}
+
+TEST(IAckBuffer, PostRejectedWhenFull) {
+  IAckBufferBank bank(1);
+  ASSERT_TRUE(bank.reserve(1, 1));
+  bool accepted = true;
+  EXPECT_FALSE(bank.post(2, 1, &accepted).has_value());
+  EXPECT_FALSE(accepted);
+}
+
+TEST(IAckBuffer, PickupBlocksWhenFullAndNoEntry) {
+  IAckBufferBank bank(1);
+  ASSERT_TRUE(bank.reserve(1, 1));
+  bool blocked = false;
+  EXPECT_FALSE(bank.pickup(2, 1, make_worm(2), &blocked).has_value());
+  EXPECT_TRUE(blocked);
+}
+
+TEST(IAckBuffer, SecondGatherOfSameTxnBlocks) {
+  IAckBufferBank bank(2);
+  ASSERT_TRUE(bank.reserve(1, 2));
+  bool blocked = false;
+  EXPECT_FALSE(bank.pickup(1, 2, make_worm(1), &blocked).has_value());
+  EXPECT_FALSE(blocked);
+  EXPECT_FALSE(bank.pickup(1, 2, make_worm(1), &blocked).has_value());
+  EXPECT_TRUE(blocked);
+}
+
+TEST(IAckBuffer, IndependentTransactionsCoexist) {
+  IAckBufferBank bank(4);
+  bool accepted = false;
+  EXPECT_FALSE(bank.post(10, 1, &accepted).has_value());
+  EXPECT_FALSE(bank.post(11, 1, &accepted).has_value());
+  bool blocked = false;
+  EXPECT_EQ(bank.pickup(10, 1, make_worm(10), &blocked).value(), 1);
+  EXPECT_EQ(bank.pickup(11, 1, make_worm(11), &blocked).value(), 1);
+}
+
+} // namespace
+} // namespace mdw::noc

@@ -1,0 +1,228 @@
+// Static property tests for the invalidation planner: BRCP conformance of
+// every generated worm, exact single coverage of the sharer set, role
+// completeness, and the message-count relationships the paper argues.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/analytic.h"
+#include "core/inval_planner.h"
+#include "sim/rng.h"
+
+namespace mdw::core {
+namespace {
+
+using noc::DestAction;
+using noc::MeshShape;
+
+std::vector<NodeId> random_sharers(sim::Rng& rng, const MeshShape& mesh,
+                                   NodeId home, int d) {
+  std::set<NodeId> s;
+  while (static_cast<int>(s.size()) < d) {
+    const auto n = static_cast<NodeId>(rng.next_below(mesh.num_nodes()));
+    if (n != home) s.insert(n);
+  }
+  return {s.begin(), s.end()};
+}
+
+class PlannerProperties
+    : public ::testing::TestWithParam<std::tuple<Scheme, int>> {};
+
+TEST_P(PlannerProperties, WormsAreConformantAndCoverSharersExactlyOnce) {
+  const auto [scheme, d] = GetParam();
+  const MeshShape mesh(8, 8);
+  const noc::WormSizing sizing;
+  sim::Rng rng(1234 + d);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto home = static_cast<NodeId>(rng.next_below(64));
+    const auto sharers = random_sharers(rng, mesh, home, d);
+    const auto plan = plan_invalidation(scheme, mesh, home, sharers, 1, sizing);
+
+    // Every request worm conforms to the scheme's base routing.
+    for (const auto& w : plan.request_worms) {
+      EXPECT_TRUE(noc::worm_is_well_formed(mesh, request_algo_of(scheme), *w))
+          << scheme_name(scheme);
+    }
+
+    // Exact single coverage: each sharer appears as a delivering
+    // destination on exactly one request worm; no non-sharer is delivered.
+    std::map<NodeId, int> delivered;
+    for (const auto& w : plan.request_worms) {
+      for (const auto& dst : w->dests) {
+        if (dst.action == DestAction::Deliver ||
+            dst.action == DestAction::DeliverAndReserve) {
+          delivered[dst.node] += 1;
+        }
+      }
+    }
+    EXPECT_EQ(delivered.size(), sharers.size());
+    for (NodeId s : sharers) {
+      EXPECT_EQ(delivered[s], 1) << "sharer " << s << " under "
+                                 << scheme_name(scheme);
+    }
+
+    // Role completeness.
+    ASSERT_EQ(plan.directive->roles.size(), sharers.size());
+    int initiators = 0;
+    for (NodeId s : sharers) {
+      ASSERT_TRUE(plan.directive->roles.count(s));
+      if (plan.directive->roles.at(s) == SharerRole::LaunchGather) {
+        ++initiators;
+        ASSERT_TRUE(plan.directive->gather_of.count(s));
+      }
+    }
+    EXPECT_EQ(initiators,
+              static_cast<int>(plan.directive->gathers.size()));
+
+    // Gather blueprints start at their initiator.
+    for (const auto& g : plan.directive->gathers) {
+      EXPECT_EQ(g.path.front(), g.initiator);
+      EXPECT_FALSE(g.dests.empty());
+    }
+
+    // Framework sanity.
+    switch (framework_of(scheme)) {
+      case Framework::UiUa:
+        EXPECT_EQ(plan.request_worms.size(), sharers.size());
+        EXPECT_EQ(plan.expected_ack_messages, d);
+        break;
+      case Framework::MiUa:
+        EXPECT_LE(plan.request_worms.size(), sharers.size());
+        EXPECT_EQ(plan.expected_ack_messages, d);
+        EXPECT_TRUE(plan.directive->gathers.empty());
+        break;
+      case Framework::MiMa:
+        EXPECT_LE(plan.request_worms.size(), sharers.size());
+        EXPECT_GE(plan.expected_ack_messages, 1);
+        EXPECT_LE(plan.expected_ack_messages, d);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, PlannerProperties,
+    ::testing::Combine(::testing::ValuesIn(kAllSchemes),
+                       ::testing::Values(1, 2, 5, 12, 30)),
+    [](const auto& info) {
+      std::string n(scheme_name(std::get<0>(info.param)));
+      for (auto& c : n)
+        if (c == '-') c = '_';
+      return n + "_d" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Planner, WestFirstUsesFewerRequestWormsThanEcube) {
+  const MeshShape mesh(16, 16);
+  const noc::WormSizing sizing;
+  sim::Rng rng(7);
+  int wf_fewer = 0, total = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto home = static_cast<NodeId>(rng.next_below(256));
+    const auto sharers = random_sharers(rng, mesh, home, 24);
+    const auto ec =
+        plan_invalidation(Scheme::EcCmUa, mesh, home, sharers, 1, sizing);
+    const auto wf =
+        plan_invalidation(Scheme::WfScUa, mesh, home, sharers, 1, sizing);
+    total++;
+    if (wf.request_worms.size() < ec.request_worms.size()) wf_fewer++;
+    EXPECT_LE(wf.request_worms.size(), 2u);
+  }
+  // The serpentine should essentially always use fewer worms at d=24.
+  EXPECT_GT(wf_fewer, total * 9 / 10);
+}
+
+TEST(Planner, HierarchicalGatherBoundsHomeAckMessages) {
+  const MeshShape mesh(16, 16);
+  const noc::WormSizing sizing;
+  sim::Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto home = static_cast<NodeId>(rng.next_below(256));
+    const auto sharers = random_sharers(rng, mesh, home, 32);
+    const auto hg =
+        plan_invalidation(Scheme::EcCmHg, mesh, home, sharers, 1, sizing);
+    const auto cg =
+        plan_invalidation(Scheme::EcCmCg, mesh, home, sharers, 1, sizing);
+    // HG: <= 2 trunks + <= 2 home-column gathers.
+    EXPECT_LE(hg.expected_ack_messages, 4);
+    EXPECT_LE(hg.expected_ack_messages, cg.expected_ack_messages);
+  }
+}
+
+TEST(Planner, WfGatherAckMessageBounds) {
+  const MeshShape mesh(16, 16);
+  const noc::WormSizing sizing;
+  sim::Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto home = static_cast<NodeId>(rng.next_below(256));
+    const auto sharers = random_sharers(rng, mesh, home, 20);
+    // The single serpentine collapses acknowledgment to <= 2 messages.
+    const auto sc = plan_invalidation(Scheme::WfScSg, mesh, home, sharers, 1,
+                                      sizing);
+    EXPECT_LE(sc.expected_ack_messages, 2);
+    // Banded serpentines: <= 2 gathers per band, <= ceil(16/4) bands.
+    const auto pb = plan_invalidation(Scheme::WfP2Sg, mesh, home, sharers, 1,
+                                      sizing);
+    EXPECT_LE(pb.expected_ack_messages, 8);
+    EXPECT_GE(pb.expected_ack_messages, sc.expected_ack_messages);
+  }
+}
+
+TEST(Planner, GatherWormBuilderInstantiatesBlueprint) {
+  const MeshShape mesh(8, 8);
+  const noc::WormSizing sizing;
+  sim::Rng rng(3);
+  const NodeId home = mesh.id_of({4, 4});
+  const auto sharers = random_sharers(rng, mesh, home, 10);
+  const auto plan =
+      plan_invalidation(Scheme::EcCmCg, mesh, home, sharers, 42, sizing);
+  ASSERT_FALSE(plan.directive->gathers.empty());
+  const auto& bp = plan.directive->gathers.front();
+  const auto worm = build_gather_worm(bp, 42);
+  EXPECT_EQ(worm->kind, noc::WormKind::Gather);
+  EXPECT_EQ(worm->vnet, noc::VNet::Reply);
+  EXPECT_EQ(worm->txn, 42u);
+  EXPECT_EQ(worm->src, bp.initiator);
+  EXPECT_EQ(worm->gathered, 1);
+  EXPECT_EQ(worm->path, bp.path);
+}
+
+TEST(Planner, SingleSharerDegeneratesGracefully) {
+  const MeshShape mesh(8, 8);
+  const noc::WormSizing sizing;
+  const NodeId home = mesh.id_of({3, 3});
+  for (Scheme s : kAllSchemes) {
+    for (NodeId sharer : {mesh.id_of({3, 6}), mesh.id_of({0, 3}),
+                          mesh.id_of({6, 1}), mesh.id_of({2, 2})}) {
+      const auto plan = plan_invalidation(s, mesh, home, {sharer}, 1, sizing);
+      EXPECT_EQ(plan.request_worms.size(), 1u) << scheme_name(s);
+      EXPECT_EQ(plan.expected_ack_messages, 1) << scheme_name(s);
+    }
+  }
+}
+
+TEST(Planner, AnalyticModelTracksPlanShape) {
+  const MeshShape mesh(16, 16);
+  AnalyticParams p;
+  p.k = 16;
+  sim::Rng rng(21);
+  for (int d : {4, 16, 48}) {
+    p.d = d;
+    const auto ui = estimate(Scheme::UiUa, p);
+    const auto mi = estimate(Scheme::EcCmUa, p);
+    const auto ma = estimate(Scheme::EcCmHg, p);
+    // At tiny d the grouping degenerates to unicasts (ties allowed); the
+    // separation must open up as d grows.
+    EXPECT_GE(ui.messages, mi.messages);
+    EXPECT_GE(mi.messages, ma.messages);
+    EXPECT_GT(ui.home_occupancy, ma.home_occupancy);
+    if (d >= 16) {
+      EXPECT_GT(ui.messages, mi.messages);
+      EXPECT_GT(mi.messages, ma.messages);
+      EXPECT_GT(ui.latency, ma.latency);
+    }
+  }
+}
+
+} // namespace
+} // namespace mdw::core

@@ -1,0 +1,209 @@
+// Deterministic protocol scenario tests on a small machine, parameterized
+// over every grouping scheme: misses, upgrades, recalls, writebacks, and the
+// invalidation transaction itself.
+#include <gtest/gtest.h>
+
+#include "dsm/machine.h"
+
+namespace mdw::dsm {
+namespace {
+
+SystemParams small_params(core::Scheme s) {
+  SystemParams p;
+  p.mesh_w = 4;
+  p.mesh_h = 4;
+  p.scheme = s;
+  p.cache_lines = 64;
+  return p;
+}
+
+constexpr Cycle kBudget = 2'000'000;
+
+class ProtocolScenarios : public ::testing::TestWithParam<core::Scheme> {
+protected:
+  void SetUp() override {
+    m = std::make_unique<Machine>(small_params(GetParam()));
+  }
+
+  std::uint64_t do_read(NodeId n, BlockAddr a) {
+    std::uint64_t got = ~0ull;
+    bool done = false;
+    m->node(n).read(a, [&](std::uint64_t v) {
+      got = v;
+      done = true;
+    });
+    EXPECT_TRUE(m->engine().run_until([&] { return done; }, kBudget));
+    return got;
+  }
+
+  void do_write(NodeId n, BlockAddr a, std::uint64_t v) {
+    bool done = false;
+    m->node(n).write(a, v, [&] { done = true; });
+    EXPECT_TRUE(m->engine().run_until([&] { return done; }, kBudget));
+  }
+
+  void settle() {
+    EXPECT_TRUE(m->engine().run_to_quiescence(kBudget));
+    const std::string err = m->check_coherence();
+    EXPECT_TRUE(err.empty()) << err;
+  }
+
+  std::unique_ptr<Machine> m;
+};
+
+TEST_P(ProtocolScenarios, CleanReadMiss) {
+  const BlockAddr a = 5;  // home = node 5
+  EXPECT_EQ(do_read(0, a), 0u);
+  EXPECT_EQ(m->node(0).cache().lookup(a), LineState::Shared);
+  const auto* e = m->node(5).directory().find(a);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, DirState::Shared);
+  EXPECT_TRUE(e->sharers.count(0));
+  settle();
+}
+
+TEST_P(ProtocolScenarios, ReadHitAfterMiss) {
+  const BlockAddr a = 5;
+  do_read(0, a);
+  const auto before = m->node(0).cache().stats().hits;
+  do_read(0, a);
+  EXPECT_EQ(m->node(0).cache().stats().hits, before + 1);
+  settle();
+}
+
+TEST_P(ProtocolScenarios, WriteMissGrantsExclusive) {
+  const BlockAddr a = 7;
+  do_write(2, a, 123);
+  EXPECT_EQ(m->node(2).cache().lookup(a), LineState::Modified);
+  const auto* e = m->node(7).directory().find(a);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state, DirState::Exclusive);
+  EXPECT_EQ(e->owner, 2);
+  settle();
+}
+
+TEST_P(ProtocolScenarios, ReadAfterRemoteWriteRecallsData) {
+  const BlockAddr a = 7;
+  do_write(2, a, 123);
+  EXPECT_EQ(do_read(9, a), 123u);
+  // The writer keeps a Shared copy after the downgrade.
+  EXPECT_EQ(m->node(2).cache().lookup(a), LineState::Shared);
+  const auto* e = m->node(7).directory().find(a);
+  EXPECT_EQ(e->state, DirState::Shared);
+  EXPECT_TRUE(e->sharers.count(2));
+  EXPECT_TRUE(e->sharers.count(9));
+  settle();
+}
+
+TEST_P(ProtocolScenarios, WriteToSharedBlockInvalidatesAllSharers) {
+  const BlockAddr a = 3;
+  // Build up 7 sharers.
+  std::vector<NodeId> readers{0, 1, 2, 5, 9, 12, 15};
+  for (NodeId r : readers) EXPECT_EQ(do_read(r, a), 0u);
+  do_write(6, a, 999);
+  for (NodeId r : readers) {
+    EXPECT_EQ(m->node(r).cache().lookup(a), LineState::Invalid)
+        << "sharer " << r;
+  }
+  const auto* e = m->node(3).directory().find(a);
+  EXPECT_EQ(e->state, DirState::Exclusive);
+  EXPECT_EQ(e->owner, 6);
+  EXPECT_EQ(m->stats().inval_txns, 1u);
+  EXPECT_EQ(do_read(1, a), 999u);
+  settle();
+}
+
+TEST_P(ProtocolScenarios, UpgradeFromSharedExcludesRequester) {
+  const BlockAddr a = 3;
+  do_read(6, a);   // requester becomes a sharer first
+  do_read(1, a);
+  do_read(2, a);
+  do_write(6, a, 50);  // upgrade: only nodes 1 and 2 need invalidation
+  EXPECT_EQ(m->stats().inval_txns, 1u);
+  EXPECT_DOUBLE_EQ(m->stats().inval_sharers.mean(), 2.0);
+  EXPECT_EQ(m->node(6).cache().lookup(a), LineState::Modified);
+  settle();
+}
+
+TEST_P(ProtocolScenarios, WriteAfterWriteRecalls) {
+  const BlockAddr a = 11;
+  do_write(0, a, 1);
+  do_write(15, a, 2);
+  EXPECT_EQ(m->node(0).cache().lookup(a), LineState::Invalid);
+  EXPECT_EQ(m->node(15).cache().lookup(a), LineState::Modified);
+  EXPECT_EQ(do_read(4, a), 2u);
+  settle();
+}
+
+TEST_P(ProtocolScenarios, HomeOwnCopyInvalidatedLocally) {
+  const BlockAddr a = 3;  // home = 3
+  do_read(3, a);          // the home caches its own block
+  do_read(1, a);
+  do_write(9, a, 77);
+  EXPECT_EQ(m->node(3).cache().lookup(a), LineState::Invalid);
+  // Only node 1 needed a network invalidation.
+  EXPECT_DOUBLE_EQ(m->stats().inval_sharers.mean(), 1.0);
+  settle();
+}
+
+TEST_P(ProtocolScenarios, DirtyEvictionWritesBack) {
+  auto p = small_params(GetParam());
+  p.cache_lines = 2;  // force conflict evictions
+  m = std::make_unique<Machine>(p);
+  do_write(0, 1, 10);
+  do_write(0, 3, 30);  // maps to the same set as 1 (2 lines)
+  do_write(0, 5, 50);
+  settle();
+  // The evicted blocks' homes must have absorbed the writebacks.
+  const auto* e1 = m->node(1).directory().find(1);
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(e1->state, DirState::Uncached);
+  EXPECT_EQ(e1->mem_value, 10u);
+  EXPECT_EQ(do_read(2, 1), 10u);
+  settle();
+}
+
+TEST_P(ProtocolScenarios, WriteMissAfterOwnDirtyEviction) {
+  // Writer owns a block, evicts it (writeback in flight), then writes it
+  // again: the home must wait for the writeback and re-grant.
+  auto p = small_params(GetParam());
+  p.cache_lines = 2;
+  m = std::make_unique<Machine>(p);
+  do_write(0, 1, 10);
+  do_write(0, 3, 30);  // evicts block 1
+  do_write(0, 1, 11);  // re-acquire
+  EXPECT_EQ(do_read(5, 1), 11u);
+  settle();
+}
+
+TEST_P(ProtocolScenarios, SequentialValuesVisibleInOrder) {
+  const BlockAddr a = 2;
+  for (std::uint64_t v = 1; v <= 5; ++v) {
+    do_write(static_cast<NodeId>(v), a, v);
+    EXPECT_EQ(do_read(static_cast<NodeId>(v + 5), a), v);
+  }
+  settle();
+}
+
+TEST_P(ProtocolScenarios, BroadcastInvalidation) {
+  const BlockAddr a = 0;
+  for (NodeId r = 1; r < 16; ++r) do_read(r, a);
+  do_write(0, a, 42);  // home itself writes; 15 remote sharers
+  for (NodeId r = 1; r < 16; ++r) {
+    EXPECT_EQ(m->node(r).cache().lookup(a), LineState::Invalid);
+  }
+  EXPECT_EQ(m->node(0).cache().lookup(a), LineState::Modified);
+  settle();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ProtocolScenarios,
+                         ::testing::ValuesIn(core::kAllSchemes),
+                         [](const auto& info) {
+                           std::string n(core::scheme_name(info.param));
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+} // namespace
+} // namespace mdw::dsm

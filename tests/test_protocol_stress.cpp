@@ -1,0 +1,181 @@
+// Randomized protocol stress: every node issues a stream of random reads
+// and writes over a small, heavily-shared block pool.  After quiescence the
+// coherence invariants must hold (single writer, no stale sharers,
+// directory/cache agreement), and with one designated writer per block,
+// every reader must observe monotonically non-decreasing values.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dsm/machine.h"
+#include "sim/rng.h"
+
+namespace mdw::dsm {
+namespace {
+
+SystemParams stress_params(core::Scheme s, int mesh = 4) {
+  SystemParams p;
+  p.mesh_w = mesh;
+  p.mesh_h = mesh;
+  p.scheme = s;
+  p.cache_lines = 32;  // small: exercises evictions and writebacks
+  return p;
+}
+
+class Stress : public ::testing::TestWithParam<core::Scheme> {};
+
+TEST_P(Stress, RandomMixedTrafficStaysCoherent) {
+  Machine m(stress_params(GetParam()));
+  sim::Rng rng(2718 + static_cast<int>(GetParam()));
+  const int n = m.num_nodes();
+  const int kBlocks = 24;  // heavy sharing
+  const int kOpsPerNode = 60;
+
+  std::vector<int> remaining(n, kOpsPerNode);
+  std::uint64_t next_value = 1;
+
+  // Issue-next-op driver per node.
+  std::function<void(NodeId)> issue = [&](NodeId id) {
+    if (remaining[id]-- <= 0) return;
+    const BlockAddr a = rng.next_below(kBlocks);
+    if (rng.next_bool(0.4)) {
+      m.node(id).write(a, next_value++, [&, id] { issue(id); });
+    } else {
+      m.node(id).read(a, [&, id](std::uint64_t) { issue(id); });
+    }
+  };
+  for (NodeId id = 0; id < n; ++id) issue(id);
+
+  ASSERT_TRUE(m.engine().run_until(
+      [&] {
+        return m.all_idle();
+      },
+      50'000'000))
+      << core::scheme_name(GetParam());
+  ASSERT_TRUE(m.engine().run_to_quiescence(5'000'000));
+  const std::string err = m.check_coherence();
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_GT(m.stats().inval_txns, 0u);
+}
+
+TEST_P(Stress, SingleWriterReadersSeeMonotonicValues) {
+  Machine m(stress_params(GetParam()));
+  sim::Rng rng(137 + static_cast<int>(GetParam()));
+  const int n = m.num_nodes();
+  const int kBlocks = 8;
+  const int kOpsPerNode = 50;
+
+  // Block b is written only by node (b % n); value increments per write.
+  std::vector<std::uint64_t> write_seq(kBlocks, 0);
+  // last value observed per (reader, block): must never decrease.
+  std::map<std::pair<NodeId, BlockAddr>, std::uint64_t> observed;
+  bool violation = false;
+
+  std::vector<int> remaining(n, kOpsPerNode);
+  std::function<void(NodeId)> issue = [&](NodeId id) {
+    if (remaining[id]-- <= 0) return;
+    const BlockAddr a = rng.next_below(kBlocks);
+    const NodeId writer = static_cast<NodeId>(a % n);
+    if (id == writer && rng.next_bool(0.5)) {
+      m.node(id).write(a, ++write_seq[a], [&, id] { issue(id); });
+    } else {
+      m.node(id).read(a, [&, id, a](std::uint64_t v) {
+        auto& last = observed[{id, a}];
+        if (v < last) violation = true;
+        last = v;
+        issue(id);
+      });
+    }
+  };
+  for (NodeId id = 0; id < n; ++id) issue(id);
+
+  ASSERT_TRUE(m.engine().run_until([&] { return m.all_idle(); }, 50'000'000));
+  EXPECT_FALSE(violation) << "a reader observed a value going backwards";
+  ASSERT_TRUE(m.engine().run_to_quiescence(5'000'000));
+  const std::string err = m.check_coherence();
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST_P(Stress, HotBlockWriterStorm) {
+  // Every node repeatedly writes the same block: maximal invalidation and
+  // recall pressure on one home.
+  Machine m(stress_params(GetParam()));
+  const int n = m.num_nodes();
+  const BlockAddr a = 5;
+  std::vector<int> remaining(n, 12);
+  std::uint64_t next_value = 1;
+  std::function<void(NodeId)> issue = [&](NodeId id) {
+    if (remaining[id]-- <= 0) return;
+    // Read first (become a sharer), then write: maximizes sharer counts.
+    m.node(id).read(a, [&, id](std::uint64_t) {
+      m.node(id).write(a, next_value++, [&, id] { issue(id); });
+    });
+  };
+  for (NodeId id = 0; id < n; ++id) issue(id);
+  ASSERT_TRUE(m.engine().run_until([&] { return m.all_idle(); }, 100'000'000))
+      << core::scheme_name(GetParam());
+  ASSERT_TRUE(m.engine().run_to_quiescence(5'000'000));
+  const std::string err = m.check_coherence();
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST_P(Stress, AdaptiveUnicastStaysCoherent) {
+  // Dynamic per-hop adaptive routing for the protocol's unicast messages
+  // (only changes behaviour under the turn-model schemes).
+  auto p = stress_params(GetParam());
+  p.adaptive_unicast = true;
+  Machine m(p);
+  sim::Rng rng(404 + static_cast<int>(GetParam()));
+  const int n = m.num_nodes();
+  std::vector<int> remaining(n, 40);
+  std::uint64_t next_value = 1;
+  std::function<void(NodeId)> issue = [&](NodeId id) {
+    if (remaining[id]-- <= 0) return;
+    const BlockAddr a = rng.next_below(20);
+    if (rng.next_bool(0.4)) {
+      m.node(id).write(a, next_value++, [&, id] { issue(id); });
+    } else {
+      m.node(id).read(a, [&, id](std::uint64_t) { issue(id); });
+    }
+  };
+  for (NodeId id = 0; id < n; ++id) issue(id);
+  ASSERT_TRUE(m.engine().run_until([&] { return m.all_idle(); }, 50'000'000))
+      << core::scheme_name(GetParam());
+  ASSERT_TRUE(m.engine().run_to_quiescence(5'000'000));
+  const std::string err = m.check_coherence();
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST_P(Stress, LargerMeshSmoke) {
+  Machine m(stress_params(GetParam(), /*mesh=*/6));
+  sim::Rng rng(99);
+  const int n = m.num_nodes();
+  std::vector<int> remaining(n, 20);
+  std::uint64_t next_value = 1;
+  std::function<void(NodeId)> issue = [&](NodeId id) {
+    if (remaining[id]-- <= 0) return;
+    const BlockAddr a = rng.next_below(16);
+    if (rng.next_bool(0.3)) {
+      m.node(id).write(a, next_value++, [&, id] { issue(id); });
+    } else {
+      m.node(id).read(a, [&, id](std::uint64_t) { issue(id); });
+    }
+  };
+  for (NodeId id = 0; id < n; ++id) issue(id);
+  ASSERT_TRUE(m.engine().run_until([&] { return m.all_idle(); }, 100'000'000));
+  ASSERT_TRUE(m.engine().run_to_quiescence(5'000'000));
+  const std::string err = m.check_coherence();
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, Stress,
+                         ::testing::ValuesIn(core::kAllSchemes),
+                         [](const auto& info) {
+                           std::string n(core::scheme_name(info.param));
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+} // namespace
+} // namespace mdw::dsm

@@ -1,0 +1,163 @@
+// Tests for base routing schemes and BRCP path conformance — including
+// property-style sweeps over all source/destination pairs.
+#include <gtest/gtest.h>
+
+#include "noc/routing.h"
+#include "sim/rng.h"
+
+namespace mdw::noc {
+namespace {
+
+class AllPairsRouting : public ::testing::TestWithParam<RoutingAlgo> {};
+
+TEST_P(AllPairsRouting, UnicastPathsAreMinimalAndConformant) {
+  const MeshShape m(6, 6);
+  const RoutingAlgo algo = GetParam();
+  for (NodeId s = 0; s < m.num_nodes(); ++s) {
+    for (NodeId d = 0; d < m.num_nodes(); ++d) {
+      const auto path = unicast_path(algo, m, s, d);
+      ASSERT_GE(path.size(), 1u);
+      EXPECT_EQ(path.front(), s);
+      EXPECT_EQ(path.back(), d);
+      EXPECT_EQ(static_cast<int>(path.size()) - 1, m.manhattan(s, d))
+          << routing_name(algo);
+      EXPECT_TRUE(is_conformant_path(algo, m, path)) << routing_name(algo);
+    }
+  }
+}
+
+TEST_P(AllPairsRouting, PermittedDirsAlwaysMakeProgress) {
+  const MeshShape m(5, 7);
+  const RoutingAlgo algo = GetParam();
+  for (NodeId s = 0; s < m.num_nodes(); ++s) {
+    for (NodeId d = 0; d < m.num_nodes(); ++d) {
+      if (s == d) {
+        EXPECT_TRUE(permitted_dirs(algo, m, s, d).empty());
+        continue;
+      }
+      const auto dirs = permitted_dirs(algo, m, s, d);
+      ASSERT_FALSE(dirs.empty());
+      for (Dir dir : dirs) {
+        const NodeId n = m.neighbor(s, dir);
+        ASSERT_NE(n, kInvalidNode);
+        EXPECT_EQ(m.manhattan(n, d), m.manhattan(s, d) - 1);
+      }
+    }
+  }
+}
+
+TEST_P(AllPairsRouting, RandomWalksFollowingPermittedDirsReachDest) {
+  const MeshShape m(8, 8);
+  const RoutingAlgo algo = GetParam();
+  sim::Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(64));
+    const NodeId d = static_cast<NodeId>(rng.next_below(64));
+    NodeId cur = s;
+    std::vector<NodeId> walk{cur};
+    while (cur != d) {
+      const auto dirs = permitted_dirs(algo, m, cur, d);
+      ASSERT_FALSE(dirs.empty());
+      cur = m.neighbor(cur, dirs[rng.next_below(dirs.size())]);
+      walk.push_back(cur);
+    }
+    // Any walk assembled from permitted directions must itself be a legal
+    // (BRCP-conformant) path: this is the key property the multidestination
+    // worms rely on.
+    EXPECT_TRUE(is_conformant_path(algo, m, walk)) << routing_name(algo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, AllPairsRouting,
+                         ::testing::Values(RoutingAlgo::EcubeXY,
+                                           RoutingAlgo::EcubeYX,
+                                           RoutingAlgo::WestFirst,
+                                           RoutingAlgo::EastFirst),
+                         [](const auto& info) {
+                           return std::string(routing_name(info.param)) ==
+                                          "ecube-xy"
+                                      ? "EcubeXY"
+                                  : routing_name(info.param) ==
+                                          std::string("ecube-yx")
+                                      ? "EcubeYX"
+                                  : routing_name(info.param) ==
+                                          std::string("west-first")
+                                      ? "WestFirst"
+                                      : "EastFirst";
+                         });
+
+TEST(Conformance, EcubeXYAcceptsRowThenColumn) {
+  const MeshShape m(8, 8);
+  // (1,1) -> E -> E -> N -> N
+  std::vector<NodeId> path{m.id_of({1, 1}), m.id_of({2, 1}), m.id_of({3, 1}),
+                           m.id_of({3, 2}), m.id_of({3, 3})};
+  EXPECT_TRUE(is_conformant_path(RoutingAlgo::EcubeXY, m, path));
+}
+
+TEST(Conformance, EcubeXYRejectsColumnThenRow) {
+  const MeshShape m(8, 8);
+  std::vector<NodeId> path{m.id_of({1, 1}), m.id_of({1, 2}), m.id_of({2, 2})};
+  EXPECT_FALSE(is_conformant_path(RoutingAlgo::EcubeXY, m, path));
+  EXPECT_TRUE(is_conformant_path(RoutingAlgo::EcubeYX, m, path));
+}
+
+TEST(Conformance, EcubeXYRejectsDirectionReversal) {
+  const MeshShape m(8, 8);
+  std::vector<NodeId> path{m.id_of({1, 1}), m.id_of({2, 1}), m.id_of({1, 1})};
+  EXPECT_FALSE(is_conformant_path(RoutingAlgo::EcubeXY, m, path));
+}
+
+TEST(Conformance, WestFirstAcceptsSerpentine) {
+  const MeshShape m(8, 8);
+  // W, W, then serpentine {N, E, S, S, E, N}: legal under west-first.
+  std::vector<NodeId> path{m.id_of({4, 3}), m.id_of({3, 3}), m.id_of({2, 3}),
+                           m.id_of({2, 4}), m.id_of({3, 4}), m.id_of({3, 3}),
+                           m.id_of({3, 2}), m.id_of({4, 2}), m.id_of({4, 3})};
+  EXPECT_TRUE(is_conformant_path(RoutingAlgo::WestFirst, m, path));
+  EXPECT_FALSE(is_conformant_path(RoutingAlgo::EcubeXY, m, path));
+}
+
+TEST(Conformance, WestFirstRejectsLateWestTurn) {
+  const MeshShape m(8, 8);
+  // N then W: a turn into West after a non-west hop.
+  std::vector<NodeId> path{m.id_of({3, 3}), m.id_of({3, 4}), m.id_of({2, 4})};
+  EXPECT_FALSE(is_conformant_path(RoutingAlgo::WestFirst, m, path));
+  EXPECT_TRUE(is_conformant_path(RoutingAlgo::EastFirst, m, path));
+}
+
+TEST(Conformance, EastFirstRejectsLateEastTurn) {
+  const MeshShape m(8, 8);
+  std::vector<NodeId> path{m.id_of({3, 3}), m.id_of({3, 4}), m.id_of({4, 4})};
+  EXPECT_FALSE(is_conformant_path(RoutingAlgo::EastFirst, m, path));
+}
+
+TEST(Conformance, RejectsChannelReuse) {
+  const MeshShape m(8, 8);
+  // Legal turns but traverses channel (2,3)->(3,3) twice: W-first serpentine
+  // that comes back through the same horizontal channel.
+  std::vector<NodeId> path{m.id_of({2, 3}), m.id_of({3, 3}), m.id_of({3, 4}),
+                           m.id_of({3, 3}), m.id_of({3, 2})};
+  // (3,4)->(3,3) then (3,3)->(3,2) is S,S — fine; but (3,3) appears with
+  // N then S which is a reversal at (3,4).
+  EXPECT_FALSE(is_conformant_path(RoutingAlgo::WestFirst, m, path));
+}
+
+TEST(Conformance, RejectsNonAdjacentHops) {
+  const MeshShape m(8, 8);
+  std::vector<NodeId> path{m.id_of({0, 0}), m.id_of({2, 0})};
+  EXPECT_FALSE(is_conformant_path(RoutingAlgo::EcubeXY, m, path));
+}
+
+TEST(Conformance, TrivialPathsAreConformant) {
+  const MeshShape m(8, 8);
+  EXPECT_TRUE(is_conformant_path(RoutingAlgo::EcubeXY, m, {m.id_of({3, 3})}));
+  EXPECT_TRUE(is_conformant_path(RoutingAlgo::EcubeXY, m, {}));
+}
+
+TEST(Routing, ReplyAlgoPairing) {
+  EXPECT_EQ(reply_algo_for(RoutingAlgo::EcubeXY), RoutingAlgo::EcubeYX);
+  EXPECT_EQ(reply_algo_for(RoutingAlgo::WestFirst), RoutingAlgo::EastFirst);
+}
+
+} // namespace
+} // namespace mdw::noc
