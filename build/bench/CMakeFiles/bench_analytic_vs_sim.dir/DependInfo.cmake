@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_analytic_vs_sim.cpp" "bench/CMakeFiles/bench_analytic_vs_sim.dir/bench_analytic_vs_sim.cpp.o" "gcc" "bench/CMakeFiles/bench_analytic_vs_sim.dir/bench_analytic_vs_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mdw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mdw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/mdw_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mdw_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_vs_meshsize.dir/bench_latency_vs_meshsize.cpp.o"
+  "CMakeFiles/bench_latency_vs_meshsize.dir/bench_latency_vs_meshsize.cpp.o.d"
+  "bench_latency_vs_meshsize"
+  "bench_latency_vs_meshsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_vs_meshsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_vs_sharers.dir/bench_latency_vs_sharers.cpp.o"
+  "CMakeFiles/bench_latency_vs_sharers.dir/bench_latency_vs_sharers.cpp.o.d"
+  "bench_latency_vs_sharers"
+  "bench_latency_vs_sharers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_vs_sharers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

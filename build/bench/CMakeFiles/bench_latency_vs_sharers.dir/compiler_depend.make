@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_latency_vs_sharers.
+# This may be replaced when dependencies are built.

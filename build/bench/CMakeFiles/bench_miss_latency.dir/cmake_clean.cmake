@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_miss_latency.dir/bench_miss_latency.cpp.o"
+  "CMakeFiles/bench_miss_latency.dir/bench_miss_latency.cpp.o.d"
+  "bench_miss_latency"
+  "bench_miss_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_miss_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traffic_messages.dir/bench_traffic_messages.cpp.o"
+  "CMakeFiles/bench_traffic_messages.dir/bench_traffic_messages.cpp.o.d"
+  "bench_traffic_messages"
+  "bench_traffic_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traffic_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

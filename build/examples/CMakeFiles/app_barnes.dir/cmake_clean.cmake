@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_barnes.dir/app_barnes.cpp.o"
+  "CMakeFiles/app_barnes.dir/app_barnes.cpp.o.d"
+  "app_barnes"
+  "app_barnes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_barnes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

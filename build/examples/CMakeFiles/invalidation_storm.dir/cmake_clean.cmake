@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidation_storm.dir/invalidation_storm.cpp.o"
+  "CMakeFiles/invalidation_storm.dir/invalidation_storm.cpp.o.d"
+  "invalidation_storm"
+  "invalidation_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidation_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

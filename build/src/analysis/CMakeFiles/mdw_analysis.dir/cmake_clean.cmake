@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/mdw_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/mdw_analysis.dir/table.cpp.o"
+  "CMakeFiles/mdw_analysis.dir/table.cpp.o.d"
+  "libmdw_analysis.a"
+  "libmdw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_core.dir/analytic.cpp.o"
+  "CMakeFiles/mdw_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/mdw_core.dir/inval_planner.cpp.o"
+  "CMakeFiles/mdw_core.dir/inval_planner.cpp.o.d"
+  "libmdw_core.a"
+  "libmdw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

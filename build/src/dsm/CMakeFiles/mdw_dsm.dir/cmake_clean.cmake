@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_dsm.dir/machine.cpp.o"
+  "CMakeFiles/mdw_dsm.dir/machine.cpp.o.d"
+  "CMakeFiles/mdw_dsm.dir/node.cpp.o"
+  "CMakeFiles/mdw_dsm.dir/node.cpp.o.d"
+  "libmdw_dsm.a"
+  "libmdw_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/iack_buffer.cpp" "src/noc/CMakeFiles/mdw_noc.dir/iack_buffer.cpp.o" "gcc" "src/noc/CMakeFiles/mdw_noc.dir/iack_buffer.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/mdw_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/mdw_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/mdw_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/mdw_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/noc/CMakeFiles/mdw_noc.dir/routing.cpp.o" "gcc" "src/noc/CMakeFiles/mdw_noc.dir/routing.cpp.o.d"
+  "/root/repo/src/noc/worm_builder.cpp" "src/noc/CMakeFiles/mdw_noc.dir/worm_builder.cpp.o" "gcc" "src/noc/CMakeFiles/mdw_noc.dir/worm_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mdw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_noc.dir/iack_buffer.cpp.o"
+  "CMakeFiles/mdw_noc.dir/iack_buffer.cpp.o.d"
+  "CMakeFiles/mdw_noc.dir/network.cpp.o"
+  "CMakeFiles/mdw_noc.dir/network.cpp.o.d"
+  "CMakeFiles/mdw_noc.dir/router.cpp.o"
+  "CMakeFiles/mdw_noc.dir/router.cpp.o.d"
+  "CMakeFiles/mdw_noc.dir/routing.cpp.o"
+  "CMakeFiles/mdw_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/mdw_noc.dir/worm_builder.cpp.o"
+  "CMakeFiles/mdw_noc.dir/worm_builder.cpp.o.d"
+  "libmdw_noc.a"
+  "libmdw_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

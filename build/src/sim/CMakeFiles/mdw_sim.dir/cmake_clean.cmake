@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_sim.dir/engine.cpp.o"
+  "CMakeFiles/mdw_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mdw_sim.dir/rng.cpp.o"
+  "CMakeFiles/mdw_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/mdw_sim.dir/stats.cpp.o"
+  "CMakeFiles/mdw_sim.dir/stats.cpp.o.d"
+  "libmdw_sim.a"
+  "libmdw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

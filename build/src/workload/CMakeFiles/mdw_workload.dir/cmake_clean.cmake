@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_workload.dir/barnes_hut.cpp.o"
+  "CMakeFiles/mdw_workload.dir/barnes_hut.cpp.o.d"
+  "CMakeFiles/mdw_workload.dir/lu.cpp.o"
+  "CMakeFiles/mdw_workload.dir/lu.cpp.o.d"
+  "CMakeFiles/mdw_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/mdw_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/mdw_workload.dir/trace_runner.cpp.o"
+  "CMakeFiles/mdw_workload.dir/trace_runner.cpp.o.d"
+  "libmdw_workload.a"
+  "libmdw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iack_buffer.dir/test_iack_buffer.cpp.o"
+  "CMakeFiles/test_iack_buffer.dir/test_iack_buffer.cpp.o.d"
+  "test_iack_buffer"
+  "test_iack_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iack_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inval_planner.dir/test_inval_planner.cpp.o"
+  "CMakeFiles/test_inval_planner.dir/test_inval_planner.cpp.o.d"
+  "test_inval_planner"
+  "test_inval_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inval_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_machine_checker.cpp" "tests/CMakeFiles/test_machine_checker.dir/test_machine_checker.cpp.o" "gcc" "tests/CMakeFiles/test_machine_checker.dir/test_machine_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/CMakeFiles/mdw_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mdw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mdw_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mdw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_multicast.dir/test_network_multicast.cpp.o"
+  "CMakeFiles/test_network_multicast.dir/test_network_multicast.cpp.o.d"
+  "test_network_multicast"
+  "test_network_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

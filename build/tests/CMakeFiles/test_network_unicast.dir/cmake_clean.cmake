@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_unicast.dir/test_network_unicast.cpp.o"
+  "CMakeFiles/test_network_unicast.dir/test_network_unicast.cpp.o.d"
+  "test_network_unicast"
+  "test_network_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_stress.dir/test_protocol_stress.cpp.o"
+  "CMakeFiles/test_protocol_stress.dir/test_protocol_stress.cpp.o.d"
+  "test_protocol_stress"
+  "test_protocol_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

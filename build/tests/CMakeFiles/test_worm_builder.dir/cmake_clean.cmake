@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_worm_builder.dir/test_worm_builder.cpp.o"
+  "CMakeFiles/test_worm_builder.dir/test_worm_builder.cpp.o.d"
+  "test_worm_builder"
+  "test_worm_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_worm_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
