@@ -47,7 +47,8 @@ void run_app(const App& app) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("E10 (Table 6)", "application workloads on 16 processors "
                                  "(4x4 mesh); norm. = execution time relative "
                                  "to UI-UA");
@@ -63,5 +64,32 @@ int main() {
               "intensity — largest for APSP (every pivot-row write "
               "invalidates all readers), modest for LU (small sharer "
               "counts).\n");
+
+  if (opt.enabled()) {
+    // Instrumented pass: Barnes-Hut under UI-UA with registry/tracer on.
+    std::printf("\n--- observability pass (Barnes-Hut, UI-UA) ---\n");
+    obs::MetricsRegistry registry;
+    obs::TraceWriter trace;
+    dsm::SystemParams p;
+    p.mesh_w = p.mesh_h = 4;
+    p.scheme = core::Scheme::UiUa;
+    dsm::Machine m(p, &registry);
+    if (opt.tracing()) m.set_trace_writer(&trace);
+    workload::TraceRunner runner(m, workload::barnes_hut_trace(16, 128, 4, 42));
+    const auto r = runner.run();
+    if (!r.completed) {
+      std::fprintf(stderr, "instrumented replay failed\n");
+      return 1;
+    }
+    m.snapshot_metrics();
+    analysis::Table o({"exec cycles", "inval lat p50", "p90", "p99"});
+    o.add_row({analysis::Table::integer(r.cycles),
+               analysis::Table::num(m.stats().inval_latency.quantile(0.50)),
+               analysis::Table::num(m.stats().inval_latency.quantile(0.90)),
+               analysis::Table::num(m.stats().inval_latency.quantile(0.99))});
+    o.print(std::cout);
+    m.network().heatmap().render_ascii(std::cout);
+    bench::write_observability(opt, registry, &m.network().heatmap(), &trace);
+  }
   return 0;
 }

@@ -3,12 +3,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "analysis/experiment.h"
 #include "analysis/table.h"
 #include "core/scheme.h"
+#include "obs/heatmap.h"
+#include "obs/metrics.h"
+#include "obs/trace_writer.h"
 
 namespace mdw::bench {
 
@@ -22,6 +26,63 @@ inline void banner(const char* exp_id, const char* what) {
               "==============================================================="
               "=\n\n",
               exp_id, what);
+}
+
+/// Observability command-line options, honored by the instrumented benches
+/// (bench_hotspot, bench_miss_latency, bench_apps):
+///   --metrics-json=<path>   write the metrics registry + per-link heatmap
+///   --trace=<path>          write a Chrome trace (chrome://tracing, Perfetto)
+struct BenchOptions {
+  std::string metrics_json;
+  std::string trace;
+  [[nodiscard]] bool enabled() const {
+    return !metrics_json.empty() || !trace.empty();
+  }
+  [[nodiscard]] bool tracing() const { return !trace.empty(); }
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--metrics-json=", 0) == 0) {
+      opt.metrics_json = a.substr(15);
+    } else if (a.rfind("--trace=", 0) == 0) {
+      opt.trace = a.substr(8);
+    } else {
+      std::fprintf(stderr,
+                   "unknown option '%s'\nusage: %s [--metrics-json=<path>] "
+                   "[--trace=<path>]\n",
+                   a.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Write whatever the options selected; prints one line per file written.
+inline void write_observability(const BenchOptions& opt,
+                                const obs::MetricsRegistry& registry,
+                                const obs::LinkHeatmap* heatmap,
+                                const obs::TraceWriter* trace) {
+  if (!opt.metrics_json.empty()) {
+    if (obs::write_metrics_json_file(opt.metrics_json, registry, heatmap)) {
+      std::printf("wrote metrics JSON to %s\n", opt.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.metrics_json.c_str());
+      std::exit(1);
+    }
+  }
+  if (!opt.trace.empty() && trace != nullptr) {
+    if (trace->write_file(opt.trace)) {
+      std::printf("wrote Chrome trace (%zu events) to %s — open in "
+                  "chrome://tracing or https://ui.perfetto.dev\n",
+                  trace->num_events(), opt.trace.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.trace.c_str());
+      std::exit(1);
+    }
+  }
 }
 
 } // namespace mdw::bench

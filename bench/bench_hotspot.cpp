@@ -5,7 +5,8 @@
 
 using namespace mdw;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("E8", "concurrent invalidation transactions (16x16 mesh, "
                       "d=16 per transaction, 3 rounds)");
 
@@ -82,5 +83,31 @@ int main() {
               "profile shows the paper's hot-spot anatomy: UI-UA loads the "
               "home row (request fan-out) and home column (ack fan-in) far "
               "above the mesh average; MI-MA flattens both.\n");
+
+  if (opt.enabled()) {
+    // Instrumented pass: one UI-UA hot-spot run with the registry (and,
+    // when requested, the tracer) attached; dumps metrics + heatmap + trace.
+    std::printf("\n--- observability pass (UI-UA, 16 concurrent, d=16) ---\n");
+    obs::MetricsRegistry registry;
+    obs::TraceWriter trace;
+    analysis::HotspotConfig cfg;
+    cfg.mesh = 16;
+    cfg.scheme = core::Scheme::UiUa;
+    cfg.d = 16;
+    cfg.concurrent = 16;
+    cfg.rounds = 3;
+    cfg.seed = 27;
+    cfg.metrics = &registry;
+    cfg.trace = opt.tracing() ? &trace : nullptr;
+    const auto m = analysis::measure_hotspot(cfg);
+    analysis::Table t({"inval latency mean", "p50", "p90", "p99"});
+    t.add_row({analysis::Table::num(m.inval_latency),
+               analysis::Table::num(m.inval_latency_p50),
+               analysis::Table::num(m.inval_latency_p90),
+               analysis::Table::num(m.inval_latency_p99)});
+    t.print(std::cout);
+    m.heatmap.render_ascii(std::cout);
+    bench::write_observability(opt, registry, &m.heatmap, &trace);
+  }
   return 0;
 }

@@ -48,7 +48,8 @@ Cycle probe(dsm::SystemParams p, NodeId requester, BlockAddr addr, bool write,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::banner("E1 (Table 4)", "derived typical memory access latencies");
 
   dsm::SystemParams p;
@@ -123,5 +124,36 @@ int main() {
               "comparable' with DASH/Alewife hardware measurements (~100-150 "
               "proc cycles for a clean remote miss); at 2 network cycles per "
               "100 MHz processor cycle this lands in the same band.\n");
+
+  if (opt.enabled()) {
+    // Instrumented pass: replay the heaviest probe (write miss, 16 sharers)
+    // with the registry/tracer attached and dump what the run looked like.
+    std::printf("\n--- observability pass (write miss, 16 sharers) ---\n");
+    obs::MetricsRegistry registry;
+    obs::TraceWriter trace;
+    dsm::Machine m(p, &registry);
+    if (opt.tracing()) m.set_trace_writer(&trace);
+    for (int i = 0; i < 16; ++i) {
+      const NodeId s = static_cast<NodeId>((center + 2 + i) % m.num_nodes());
+      bool done = false;
+      m.node(s).read(neighbor, [&](std::uint64_t) { done = true; });
+      m.engine().run_until([&] { return done; }, 1'000'000);
+    }
+    m.engine().run_to_quiescence(100'000);
+    bool done = false;
+    m.node(center).write(neighbor, 2, [&] { done = true; });
+    m.engine().run_until([&] { return done; }, 1'000'000);
+    m.engine().run_to_quiescence(100'000);
+    m.snapshot_metrics();
+    analysis::Table o({"inval latency", "p50", "p90", "p99", "flit-hops"});
+    o.add_row({analysis::Table::num(m.stats().inval_latency.mean()),
+               analysis::Table::num(m.stats().inval_latency.quantile(0.50)),
+               analysis::Table::num(m.stats().inval_latency.quantile(0.90)),
+               analysis::Table::num(m.stats().inval_latency.quantile(0.99)),
+               analysis::Table::integer(m.network().stats().link_flit_hops)});
+    o.print(std::cout);
+    m.network().heatmap().render_ascii(std::cout);
+    bench::write_observability(opt, registry, &m.network().heatmap(), &trace);
+  }
   return 0;
 }

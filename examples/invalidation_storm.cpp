@@ -9,8 +9,12 @@
 #include <functional>
 #include <iostream>
 
+#include <utility>
+#include <vector>
+
 #include "analysis/table.h"
 #include "dsm/machine.h"
+#include "obs/heatmap.h"
 #include "sim/rng.h"
 
 using namespace mdw;
@@ -26,6 +30,7 @@ int main(int argc, char** argv) {
   analysis::Table t({"scheme", "makespan (cyc)", "inval txns",
                      "avg d", "avg inval latency", "flit-hops/txn",
                      "deferred gathers"});
+  std::vector<std::pair<std::string, obs::LinkHeatmap>> heatmaps;
 
   for (core::Scheme s : core::kAllSchemes) {
     dsm::SystemParams p;
@@ -67,7 +72,17 @@ int main(int argc, char** argv) {
                        : 0.0),
                analysis::Table::integer(
                    m.network().stats().gather_deferred)});
+    heatmaps.emplace_back(std::string(core::scheme_name(s)),
+                          m.network().heatmap());
   }
   t.print(std::cout);
+
+  std::printf("\nWhere the flits went (the multidestination schemes spread "
+              "the same storm over far fewer link crossings):\n\n");
+  for (const auto& [name, hm] : heatmaps) {
+    std::printf("%s\n", name.c_str());
+    hm.render_ascii(std::cout);
+    std::printf("\n");
+  }
   return 0;
 }

@@ -8,14 +8,43 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "core/inval_planner.h"
+#include "dsm/machine.h"
 #include "workload/synthetic.h"
 
 using namespace mdw;
 
 namespace {
+
+/// Run the rendered transaction for real (prime the sharers, fire the write
+/// at the home) and show the per-link flit load it produced.
+void render_measured_heatmap(core::Scheme s, int k, NodeId home,
+                             const std::vector<NodeId>& sharers) {
+  dsm::SystemParams p;
+  p.mesh_w = p.mesh_h = k;
+  p.scheme = s;
+  dsm::Machine m(p);
+  const BlockAddr a = static_cast<BlockAddr>(m.num_nodes()) + home;
+  for (NodeId sh : sharers) {
+    bool done = false;
+    m.node(sh).read(a, [&](std::uint64_t) { done = true; });
+    m.engine().run_until([&] { return done; }, 10'000'000);
+  }
+  m.engine().run_to_quiescence(1'000'000);
+  const std::uint64_t before = m.network().stats().link_flit_hops;
+  bool done = false;
+  m.node(home).write(a, 1, [&] { done = true; });
+  m.engine().run_until([&] { return done; }, 10'000'000);
+  m.engine().run_to_quiescence(1'000'000);
+  std::printf("  measured link load for this transaction (%llu flit-hops, "
+              "priming included in the map):\n",
+              static_cast<unsigned long long>(
+                  m.network().stats().link_flit_hops - before));
+  m.network().heatmap().render_ascii(std::cout);
+}
 
 void render(const noc::MeshShape& mesh, NodeId home,
             const std::vector<NodeId>& sharers,
@@ -94,6 +123,7 @@ int main(int argc, char** argv) {
           (g.path.back() == home ? " (to home)" : " (deposits at leader)");
       render(mesh, home, sharers, g.path, '~', title.c_str());
     }
+    render_measured_heatmap(s, k, home, sharers);
     std::printf("------------------------------------------------------------\n");
   }
   return 0;

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification: clean build + tier-1 tests, then rebuild the
+# observability tests under ASan/UBSan and run them instrumented.
+#
+#   $ scripts/verify.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SAN_BUILD="${BUILD}-asan"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "=== tier-1: configure + build + ctest (${BUILD}) ==="
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo
+echo "=== sanitizers: ASan/UBSan build, obs tests (${SAN_BUILD}) ==="
+cmake -B "$SAN_BUILD" -S . -DMDW_SANITIZE=address,undefined >/dev/null
+cmake --build "$SAN_BUILD" -j "$JOBS" --target test_obs_metrics
+ctest --test-dir "$SAN_BUILD" -R obs --output-on-failure
+
+echo
+echo "verify: OK"

@@ -47,7 +47,8 @@ InvalMeasurement measure_invalidations(const InvalExperimentConfig& cfg) {
   p.mesh_w = p.mesh_h = cfg.mesh;
   p.scheme = cfg.scheme;
 
-  dsm::Machine m(p);
+  dsm::Machine m(p, cfg.metrics);
+  if (cfg.trace) m.set_trace_writer(cfg.trace);
   sim::Rng rng(cfg.seed);
   const noc::MeshShape& mesh = m.network().mesh();
   const int n = m.num_nodes();
@@ -98,6 +99,11 @@ InvalMeasurement measure_invalidations(const InvalExperimentConfig& cfg) {
 
   const double r = cfg.repetitions;
   out.inval_latency = lat_sum / r;
+  // The machine-lifetime histogram holds exactly the measured transactions
+  // (priming is read-only), so its percentiles are the experiment's.
+  out.inval_latency_p50 = m.stats().inval_latency.quantile(0.50);
+  out.inval_latency_p90 = m.stats().inval_latency.quantile(0.90);
+  out.inval_latency_p99 = m.stats().inval_latency.quantile(0.99);
   out.write_latency = wlat_sum / r;
   out.messages = msg_sum / r;
   out.traffic_flits = traffic_sum / r;
@@ -113,7 +119,8 @@ HotspotMeasurement measure_hotspot(const HotspotConfig& cfg) {
   p.mesh_w = p.mesh_h = cfg.mesh;
   p.scheme = cfg.scheme;
 
-  dsm::Machine m(p);
+  dsm::Machine m(p, cfg.metrics);
+  if (cfg.trace) m.set_trace_writer(cfg.trace);
   sim::Rng rng(cfg.seed);
   const noc::MeshShape& mesh = m.network().mesh();
   const int n = m.num_nodes();
@@ -176,6 +183,8 @@ HotspotMeasurement measure_hotspot(const HotspotConfig& cfg) {
         blocked += m.network().router(r).stats().bank_blocked_cycles;
       }
       out.bank_blocked_cycles = static_cast<double>(blocked);
+      out.heatmap = m.network().heatmap();
+      if (cfg.metrics) m.snapshot_metrics();
       return out;
     }
     (void)m.engine().run_to_quiescence(1'000'000);
@@ -190,6 +199,9 @@ HotspotMeasurement measure_hotspot(const HotspotConfig& cfg) {
       new_count ? (m.stats().inval_latency.sum() - lat0) /
                       static_cast<double>(new_count)
                 : 0.0;
+  out.inval_latency_p50 = m.stats().inval_latency.quantile(0.50);
+  out.inval_latency_p90 = m.stats().inval_latency.quantile(0.90);
+  out.inval_latency_p99 = m.stats().inval_latency.quantile(0.99);
   out.makespan = makespan_sum / cfg.rounds;
   out.traffic_flits = traffic_sum / cfg.rounds;
   out.deferred_gathers =
@@ -199,6 +211,8 @@ HotspotMeasurement measure_hotspot(const HotspotConfig& cfg) {
     blocked += m.network().router(r).stats().bank_blocked_cycles;
   }
   out.bank_blocked_cycles = static_cast<double>(blocked);
+  out.heatmap = m.network().heatmap();
+  if (cfg.metrics) m.snapshot_metrics();
   return out;
 }
 

@@ -5,6 +5,9 @@
 
 #include "core/scheme.h"
 #include "dsm/machine.h"
+#include "obs/heatmap.h"
+#include "obs/metrics.h"
+#include "obs/trace_writer.h"
 #include "workload/synthetic.h"
 
 namespace mdw::analysis {
@@ -17,10 +20,15 @@ struct InvalExperimentConfig {
   int repetitions = 20;
   std::uint64_t seed = 1;
   dsm::SystemParams base{};          // noc / latency knobs (mesh/scheme set here)
+  obs::MetricsRegistry* metrics = nullptr;  // collect into this registry
+  obs::TraceWriter* trace = nullptr;        // emit Chrome-trace events
 };
 
 struct InvalMeasurement {
   double inval_latency = 0;    // request-to-last-ack at the home (cycles)
+  double inval_latency_p50 = 0;  // percentiles over the measured txns
+  double inval_latency_p90 = 0;  // (bucket resolution, see obs::HistogramMetric)
+  double inval_latency_p99 = 0;
   double write_latency = 0;    // writer-observed write latency (cycles)
   double messages = 0;         // request worms + ack messages per txn
   double traffic_flits = 0;    // link flit-hops per txn (whole transaction)
@@ -43,16 +51,22 @@ struct HotspotConfig {
   int rounds = 5;
   std::uint64_t seed = 1;
   dsm::SystemParams base{};
+  obs::MetricsRegistry* metrics = nullptr;  // collect into this registry
+  obs::TraceWriter* trace = nullptr;        // emit Chrome-trace events
 };
 
 struct HotspotMeasurement {
   bool completed = true;      // false: a round deadlocked within the budget
                               // (e.g. a 1-entry i-ack bank under load)
   double inval_latency = 0;   // mean across all transactions
+  double inval_latency_p50 = 0;  // percentiles across all transactions
+  double inval_latency_p90 = 0;
+  double inval_latency_p99 = 0;
   double makespan = 0;        // cycles until every round's writes complete
   double traffic_flits = 0;   // total link flit-hops (write phase)
   double deferred_gathers = 0;     // i-gather worms parked in an i-ack bank
   double bank_blocked_cycles = 0;  // worm stalls on a full i-ack bank
+  obs::LinkHeatmap heatmap;   // whole-run per-link load (incl. priming)
 };
 
 /// Many concurrent invalidation transactions (hot-spot / contention study).

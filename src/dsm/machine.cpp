@@ -4,9 +4,19 @@
 
 namespace mdw::dsm {
 
-Machine::Machine(const SystemParams& params) : p_(params) {
+Machine::Machine(const SystemParams& params, obs::MetricsRegistry* metrics)
+    : p_(params) {
+  if (metrics == nullptr) {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = own_metrics_.get();
+  }
+  metrics_ = metrics;
+  stats_.inval_latency.bind(
+      &metrics_->histogram("inval_latency", 0.0, 64.0, 256));
+  stats_.inval_sharers.bind(
+      &metrics_->histogram("inval_sharers", 0.0, 1.0, 256));
   net_ = std::make_unique<noc::Network>(
-      eng_, noc::MeshShape(p_.mesh_w, p_.mesh_h), p_.noc);
+      eng_, noc::MeshShape(p_.mesh_w, p_.mesh_h), p_.noc, metrics_);
   nodes_.reserve(p_.num_nodes());
   for (NodeId id = 0; id < p_.num_nodes(); ++id) {
     nodes_.push_back(std::make_unique<Node>(*this, id, p_));
@@ -31,11 +41,70 @@ void Machine::txn_started(TxnId txn, const InvalTxnRecord& rec) {
 void Machine::txn_finished(TxnId txn) {
   auto it = live_txns_.find(txn);
   if (it == live_txns_.end()) return;
+  const InvalTxnRecord& rec = it->second;
   it->second.end = eng_.now();
   stats_.inval_latency.add(static_cast<double>(it->second.end -
                                                it->second.start));
+  if (tracer_) {
+    tracer_->complete("inval_txn", "dsm", rec.start, rec.end - rec.start,
+                      rec.home,
+                      "{\"txn\": " + std::to_string(txn) +
+                          ", \"addr\": " + std::to_string(rec.addr) +
+                          ", \"sharers\": " + std::to_string(rec.sharers) +
+                          ", \"acks\": " + std::to_string(rec.ack_messages) +
+                          "}");
+  }
   if (record_txns_) stats_.records.push_back(it->second);
   live_txns_.erase(it);
+}
+
+void Machine::set_trace_writer(obs::TraceWriter* t) {
+  tracer_ = t;
+  eng_.set_trace_writer(t);
+  net_->set_trace_writer(t);
+}
+
+void Machine::snapshot_metrics() {
+  auto& reg = *metrics_;
+  reg.gauge("cycles").set(static_cast<double>(eng_.now()));
+  reg.counter("inval_txns").set(stats_.inval_txns);
+  reg.counter("inval_request_worms").set(stats_.inval_request_worms);
+  reg.counter("inval_ack_messages").set(stats_.inval_ack_messages);
+  reg.counter("inval_total_ack_worms").set(stats_.inval_total_ack_worms);
+
+  const noc::NetworkStats& ns = net_->stats();
+  reg.counter("worms_injected").set(ns.worms_injected);
+  reg.counter("worms_delivered").set(ns.worms_delivered);
+  reg.counter("absorb_deliveries").set(ns.absorb_deliveries);
+  reg.counter("link_flit_hops").set(ns.link_flit_hops);
+  reg.counter("gather_deferred").set(ns.gather_deferred);
+  reg.counter("gather_deposits").set(ns.gather_deposits);
+
+  std::uint64_t forwarded = 0, consumed = 0, alloc_stalls = 0, cons_blocked = 0,
+                bank_blocked = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id) {
+    const noc::RouterStats& rs = net_->router(id).stats();
+    forwarded += rs.flits_forwarded;
+    consumed += rs.flits_consumed;
+    alloc_stalls += rs.alloc_stall_cycles;
+    cons_blocked += rs.cons_blocked_cycles;
+    bank_blocked += rs.bank_blocked_cycles;
+  }
+  reg.counter("router.flits_forwarded").set(forwarded);
+  reg.counter("router.flits_consumed").set(consumed);
+  reg.counter("router.alloc_stall_cycles").set(alloc_stalls);
+  reg.counter("router.cons_blocked_cycles").set(cons_blocked);
+  reg.counter("router.bank_blocked_cycles").set(bank_blocked);
+
+  std::uint64_t occupancy = 0, sent = 0, received = 0;
+  for (const auto& n : nodes_) {
+    occupancy += n->stats().occupancy_cycles;
+    sent += n->stats().msgs_sent;
+    received += n->stats().msgs_received;
+  }
+  reg.counter("node.occupancy_cycles").set(occupancy);
+  reg.counter("node.msgs_sent").set(sent);
+  reg.counter("node.msgs_received").set(received);
 }
 
 bool Machine::all_idle() const {

@@ -7,6 +7,8 @@
 
 #include "dsm/node.h"
 #include "noc/network.h"
+#include "obs/metrics.h"
+#include "obs/trace_writer.h"
 #include "sim/engine.h"
 
 namespace mdw::dsm {
@@ -23,9 +25,11 @@ struct InvalTxnRecord {
 };
 
 struct MachineStats {
-  sim::Sampler inval_latency;      // write request reaching a Shared block ->
-                                   // last ack collected (cycles)
-  sim::Sampler inval_sharers;      // d per transaction
+  // Sampler-style handles over registry histograms of the same names (so
+  // percentiles come for free; see obs::SamplerHandle).
+  obs::SamplerHandle inval_latency; // write request reaching a Shared block ->
+                                    // last ack collected (cycles)
+  obs::SamplerHandle inval_sharers; // d per transaction
   std::uint64_t inval_txns = 0;
   std::uint64_t inval_request_worms = 0;
   std::uint64_t inval_ack_messages = 0;     // home arrivals
@@ -35,7 +39,10 @@ struct MachineStats {
 
 class Machine {
 public:
-  explicit Machine(const SystemParams& params);
+  /// `metrics` lets a harness collect several runs into one registry; when
+  /// nullptr the machine owns its own.
+  explicit Machine(const SystemParams& params,
+                   obs::MetricsRegistry* metrics = nullptr);
   ~Machine();
 
   Machine(const Machine&) = delete;
@@ -52,6 +59,18 @@ public:
   [[nodiscard]] MachineStats& stats() { return stats_; }
   void set_record_txns(bool on) { record_txns_ = on; }
   [[nodiscard]] bool record_txns() const { return record_txns_; }
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
+
+  /// Attach (or detach, with nullptr) a trace writer to the whole stack:
+  /// engine, network, and the machine's transaction spans.
+  void set_trace_writer(obs::TraceWriter* t);
+  [[nodiscard]] obs::TraceWriter* tracer() const { return tracer_; }
+
+  /// Mirror the scalar stats counters (machine, network, router and node
+  /// aggregates) into the registry.  Called by dumps, not per event, so the
+  /// simulation hot paths never pay for registry upkeep.
+  void snapshot_metrics();
 
   // Transaction bookkeeping, called from the home Node.
   void txn_started(TxnId txn, const InvalTxnRecord& rec);
@@ -71,6 +90,9 @@ public:
 private:
   SystemParams p_;
   sim::Engine eng_;
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;  // set iff not external
+  obs::MetricsRegistry* metrics_;
+  obs::TraceWriter* tracer_ = nullptr;
   std::unique_ptr<noc::Network> net_;
   std::vector<std::unique_ptr<Node>> nodes_;
   TxnId next_txn_ = 1;

@@ -1,11 +1,32 @@
 #include "noc/network.h"
 
 #include <cassert>
+#include <string>
 
 namespace mdw::noc {
 
-Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& params)
-    : eng_(eng), mesh_(mesh), params_(params) {
+namespace {
+
+/// Span payload for a delivered worm (tracing only; never on the hot path).
+std::string worm_trace_args(const Worm& w) {
+  return "{\"id\": " + std::to_string(w.id) +
+         ", \"txn\": " + std::to_string(w.txn) +
+         ", \"flits\": " + std::to_string(w.length_flits) +
+         ", \"dests\": " + std::to_string(w.dests.size()) + "}";
+}
+
+} // namespace
+
+Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& params,
+                 obs::MetricsRegistry* metrics)
+    : eng_(eng), mesh_(mesh), params_(params),
+      heatmap_(mesh.width(), mesh.height()), tracer_(eng.trace_writer()) {
+  if (metrics == nullptr) {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = own_metrics_.get();
+  }
+  metrics_ = metrics;
+  stats_.worm_latency.bind(&metrics_->histogram("worm_latency", 0.0, 16.0, 256));
   const int n = mesh_.num_nodes();
   routers_.reserve(n);
   for (NodeId id = 0; id < n; ++id) {
@@ -15,7 +36,6 @@ Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& param
   for (auto& iface : ifaces_) {
     iface.streaming.resize(static_cast<std::size_t>(params_.inj_vcs_total()));
   }
-  link_flits_.assign(n, {});
   // Wire the mesh: router r's output in direction d feeds the neighbour's
   // input port opposite(d).
   for (NodeId id = 0; id < n; ++id) {
@@ -43,6 +63,11 @@ void Network::inject(const WormPtr& worm) {
     worm->deliver_cycle = eng_.now();
     stats_.worm_latency.add(0.0);
     ++stats_.worms_delivered;
+    if (tracer_) {
+      tracer_->complete(std::string("worm.") + worm_kind_name(worm->kind),
+                        "noc", worm->inject_cycle, 0, worm->src,
+                        worm_trace_args(*worm));
+    }
     eng_.schedule_after(1, [this, worm] {
       if (deliver_) deliver_(worm->src, worm);
     });
@@ -78,6 +103,9 @@ void Network::try_pending_posts(NodeId n) {
       continue;
     }
     --pending_posts_;
+    if (tracer_) {
+      trace_bank_occupancy(n, routers_[n]->bank().entries_in_use(), eng_.now());
+    }
     if (released.has_value()) reinject(n, *released);
   }
 }
@@ -124,6 +152,11 @@ void Network::on_delivery(NodeId where, const WormPtr& worm, bool final_dest,
     ++stats_.worms_delivered;
     assert(in_flight_ > 0);
     --in_flight_;
+    if (tracer_) {
+      tracer_->complete(std::string("worm.") + worm_kind_name(worm->kind),
+                        "noc", worm->inject_cycle, now - worm->inject_cycle,
+                        worm->src, worm_trace_args(*worm));
+    }
   }
   if (deliver_) deliver_(where, worm);
 }
@@ -132,6 +165,13 @@ void Network::on_gather_deposit(NodeId at, const WormPtr& worm) {
   ++stats_.gather_deposits;
   assert(in_flight_ > 0);
   --in_flight_;
+  if (tracer_) {
+    tracer_->complete(std::string("worm.") + worm_kind_name(worm->kind) +
+                          ".deposit",
+                      "noc", worm->inject_cycle,
+                      eng_.now() - worm->inject_cycle, worm->src,
+                      worm_trace_args(*worm));
+  }
   post_iack(at, worm->txn, worm->gathered);
 }
 

@@ -14,6 +14,9 @@
 
 #include "noc/router.h"
 #include "noc/routing.h"
+#include "obs/heatmap.h"
+#include "obs/metrics.h"
+#include "obs/trace_writer.h"
 #include "sim/engine.h"
 #include "sim/stats.h"
 
@@ -40,14 +43,18 @@ struct NetworkStats {
   std::uint64_t link_flit_hops = 0;        // flits crossing inter-router links
   std::uint64_t gather_deferred = 0;       // gather worms parked in a bank
   std::uint64_t gather_deposits = 0;       // gather worms ending in a bank
-  sim::Sampler worm_latency;               // inject -> final delivery
+  obs::SamplerHandle worm_latency;         // inject -> final delivery
+                                           // (registry histogram "worm_latency")
 };
 
 class Network : public sim::Tickable {
 public:
   using DeliveryHandler = std::function<void(NodeId where, const WormPtr&)>;
 
-  Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& params);
+  /// `metrics` is the registry the network publishes into (per-Machine when
+  /// protocol-driven); when nullptr the network owns a private one.
+  Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& params,
+          obs::MetricsRegistry* metrics = nullptr);
 
   [[nodiscard]] const MeshShape& mesh() const { return mesh_; }
   [[nodiscard]] const NocParams& params() const { return params_; }
@@ -55,6 +62,12 @@ public:
   [[nodiscard]] NetworkStats& stats() { return stats_; }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] sim::Engine& engine() { return eng_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] const obs::LinkHeatmap& heatmap() const { return heatmap_; }
+
+  /// Opt-in event tracing (worm spans, i-ack bank occupancy); nullptr off.
+  void set_trace_writer(obs::TraceWriter* t) { tracer_ = t; }
+  [[nodiscard]] obs::TraceWriter* tracer() const { return tracer_; }
 
   /// Called once per final or intermediate `Deliver` completion.
   void set_delivery_handler(DeliveryHandler h) { deliver_ = std::move(h); }
@@ -71,9 +84,9 @@ public:
   /// Number of worms injected but not yet fully delivered/absorbed.
   [[nodiscard]] std::uint64_t worms_in_flight() const { return in_flight_; }
 
-  /// Per-link flit counts (for hot-spot analysis): indexed [node][dir].
+  /// Per-link flit counts (for hot-spot analysis): indexed (node, dir).
   [[nodiscard]] std::uint64_t link_flits(NodeId n, Dir d) const {
-    return link_flits_[n][static_cast<int>(d)];
+    return heatmap_.hops(n, static_cast<int>(d));
   }
 
   bool tick(Cycle now) override;
@@ -81,7 +94,16 @@ public:
   // --- used by Router -----------------------------------------------------
   void count_link_flit(NodeId from, Dir d) {
     ++stats_.link_flit_hops;
-    ++link_flits_[from][static_cast<int>(d)];
+    heatmap_.record_hop(from, static_cast<int>(d));
+  }
+  /// A head flit failed allocation waiting for the outgoing link (from, d).
+  void count_link_stall(NodeId from, Dir d) {
+    heatmap_.record_stall(from, static_cast<int>(d));
+  }
+  /// Emit an i-ack bank occupancy counter sample (call only when tracing).
+  void trace_bank_occupancy(NodeId at, int in_use, Cycle now) {
+    tracer_->counter("iack_bank." + std::to_string(at), now, at,
+                     static_cast<double>(in_use));
   }
   void on_delivery(NodeId where, const WormPtr& worm, bool final_dest, Cycle now);
   void on_gather_deferred() { ++stats_.gather_deferred; }
@@ -101,9 +123,12 @@ private:
   NocParams params_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<NetIface> ifaces_;
-  std::vector<std::array<std::uint64_t, kNumLinkDirs>> link_flits_;
   DeliveryHandler deliver_;
   NetworkStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;  // set iff not external
+  obs::MetricsRegistry* metrics_;
+  obs::LinkHeatmap heatmap_;
+  obs::TraceWriter* tracer_ = nullptr;
   std::uint64_t in_flight_ = 0;
   std::int64_t live_flits_ = 0;      // flits resident in any buffer
   std::int64_t queued_worms_ = 0;    // queued or still streaming in

@@ -148,6 +148,10 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
         w->next_dest += 1;
         // Re-mark as a plain forward from here on (no dest at this router).
         ++stats_.alloc_stall_cycles;
+        net_.count_link_stall(id_, static_cast<Dir>(out_port));
+        if (net_.tracer()) {
+          net_.trace_bank_occupancy(id_, bank_.entries_in_use(), now);
+        }
         return false;
       }
       // Parked: worm drains into the bank.
@@ -155,6 +159,9 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
       v.routed = true;
       v.drain_to_bank = true;
       net_.on_gather_deferred();
+      if (net_.tracer()) {
+        net_.trace_bank_occupancy(id_, bank_.entries_in_use(), now);
+      }
       return true;
     }
     auto parked = bank_.pickup(w->txn, w->dests[w->next_dest].expected_posts,
@@ -166,6 +173,9 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
     }
     w->next_dest += 1;
     v.routed = true;
+    if (net_.tracer()) {
+      net_.trace_bank_occupancy(id_, bank_.entries_in_use(), now);
+    }
     if (parked.has_value()) {
       w->gathered += *parked;
       v.out_port = out_port;
@@ -199,6 +209,7 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
   }
   if (!last_router && out_vc < 0) {
     ++stats_.alloc_stall_cycles;
+    net_.count_link_stall(id_, static_cast<Dir>(out_port));
     return false;
   }
   if (needs_reserve &&
@@ -206,6 +217,9 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
     ++stats_.bank_blocked_cycles;
     ++stats_.alloc_stall_cycles;
     return false;
+  }
+  if (needs_reserve && net_.tracer()) {
+    net_.trace_bank_occupancy(id_, bank_.entries_in_use(), now);
   }
 
   // Commit.

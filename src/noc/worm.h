@@ -62,6 +62,11 @@ enum class WormKind : std::uint8_t {
   Gather,     // i-gather: picks up i-acks at dests, delivers total at final
 };
 
+[[nodiscard]] inline const char* worm_kind_name(WormKind k) {
+  static constexpr const char* names[] = {"unicast", "multicast", "gather"};
+  return names[static_cast<int>(k)];
+}
+
 struct Worm {
   WormId id = 0;
   WormKind kind = WormKind::Unicast;

@@ -1,0 +1,107 @@
+#include "obs/heatmap.h"
+
+#include <algorithm>
+
+namespace mdw::obs {
+
+namespace {
+constexpr const char* kDirNames[LinkHeatmap::kDirs] = {"N", "S", "E", "W"};
+// Outgoing-link displacement per direction, matching noc::Dir order.
+constexpr int kDx[LinkHeatmap::kDirs] = {0, 0, 1, -1};
+constexpr int kDy[LinkHeatmap::kDirs] = {1, -1, 0, 0};
+} // namespace
+
+const char* LinkHeatmap::dir_name(int dir) { return kDirNames[dir]; }
+
+std::uint64_t LinkHeatmap::total_hops() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : hops_) sum += v;
+  return sum;
+}
+
+std::uint64_t LinkHeatmap::total_stalls() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : stalls_) sum += v;
+  return sum;
+}
+
+bool LinkHeatmap::has_link(int node, int dir) const {
+  const int x = node % w_ + kDx[dir];
+  const int y = node / w_ + kDy[dir];
+  return x >= 0 && x < w_ && y >= 0 && y < h_;
+}
+
+LinkHeatmap::Hottest LinkHeatmap::hottest() const {
+  Hottest best;
+  for (int node = 0; node < num_nodes(); ++node) {
+    for (int dir = 0; dir < kDirs; ++dir) {
+      if (hops(node, dir) > best.hops) {
+        best = Hottest{node, dir, hops(node, dir)};
+      }
+    }
+  }
+  return best;
+}
+
+void LinkHeatmap::render_ascii(std::ostream& os) const {
+  // Per-node totals over the four outgoing links.
+  std::vector<std::uint64_t> node_total(static_cast<std::size_t>(num_nodes()), 0);
+  std::uint64_t max_total = 0;
+  for (int node = 0; node < num_nodes(); ++node) {
+    for (int dir = 0; dir < kDirs; ++dir) node_total[node] += hops(node, dir);
+    max_total = std::max(max_total, node_total[node]);
+  }
+  os << "link heatmap (" << w_ << "x" << h_
+     << " mesh, per-node outgoing flit-hops; '.' = 0, '9' = " << max_total
+     << ")\n";
+  for (int y = h_ - 1; y >= 0; --y) {
+    os << "  ";
+    for (int x = 0; x < w_; ++x) {
+      const std::uint64_t v = node_total[static_cast<std::size_t>(y) * w_ + x];
+      if (v == 0 || max_total == 0) {
+        os << ". ";
+      } else {
+        // Scale 1..max onto 1..9 (any traffic at all shows as >= 1).
+        os << std::min<std::uint64_t>(9, 1 + (v * 9 - 1) / max_total) << " ";
+      }
+    }
+    os << "\n";
+  }
+  const Hottest h = hottest();
+  if (h.node >= 0) {
+    os << "  hottest link: (" << h.node % w_ << "," << h.node / w_ << ") "
+       << dir_name(h.dir) << " = " << h.hops << " flit-hops; total "
+       << total_hops() << " hops, " << total_stalls() << " stall-cycles\n";
+  }
+}
+
+void LinkHeatmap::write_csv(std::ostream& os) const {
+  os << "node,x,y,dir,flit_hops,stall_cycles\n";
+  for (int node = 0; node < num_nodes(); ++node) {
+    for (int dir = 0; dir < kDirs; ++dir) {
+      if (!has_link(node, dir)) continue;
+      os << node << "," << node % w_ << "," << node / w_ << ","
+         << dir_name(dir) << "," << hops(node, dir) << ","
+         << stalls(node, dir) << "\n";
+    }
+  }
+}
+
+void LinkHeatmap::write_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (int node = 0; node < num_nodes(); ++node) {
+    for (int dir = 0; dir < kDirs; ++dir) {
+      if (!has_link(node, dir)) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\n  {\"node\": " << node << ", \"x\": " << node % w_
+         << ", \"y\": " << node / w_ << ", \"dir\": \"" << dir_name(dir)
+         << "\", \"flit_hops\": " << hops(node, dir)
+         << ", \"stall_cycles\": " << stalls(node, dir) << "}";
+    }
+  }
+  os << "\n]";
+}
+
+} // namespace mdw::obs

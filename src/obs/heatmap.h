@@ -1,0 +1,75 @@
+// Per-link flit-hop and stall-cycle heatmap for a W x H mesh.
+//
+// Indexing matches noc::Dir for the four link directions: 0 = North (+y),
+// 1 = South (-y), 2 = East (+x), 3 = West (-x); a (node, dir) pair names the
+// node's *outgoing* link in that direction.  obs stays below noc in the
+// layering, so the convention is duplicated here rather than included.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mdw::obs {
+
+class LinkHeatmap {
+public:
+  static constexpr int kDirs = 4;
+
+  LinkHeatmap() = default;
+  LinkHeatmap(int width, int height)
+      : w_(width), h_(height),
+        hops_(static_cast<std::size_t>(width) * height * kDirs, 0),
+        stalls_(static_cast<std::size_t>(width) * height * kDirs, 0) {}
+
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] int height() const { return h_; }
+  [[nodiscard]] int num_nodes() const { return w_ * h_; }
+
+  void record_hop(int node, int dir) { ++hops_[index(node, dir)]; }
+  void record_stall(int node, int dir) { ++stalls_[index(node, dir)]; }
+
+  [[nodiscard]] std::uint64_t hops(int node, int dir) const {
+    return hops_[index(node, dir)];
+  }
+  [[nodiscard]] std::uint64_t stalls(int node, int dir) const {
+    return stalls_[index(node, dir)];
+  }
+
+  [[nodiscard]] std::uint64_t total_hops() const;
+  [[nodiscard]] std::uint64_t total_stalls() const;
+
+  /// Whether the outgoing link (node, dir) exists (not off the mesh edge).
+  [[nodiscard]] bool has_link(int node, int dir) const;
+
+  struct Hottest {
+    int node = -1;
+    int dir = -1;
+    std::uint64_t hops = 0;
+  };
+  [[nodiscard]] Hottest hottest() const;
+
+  [[nodiscard]] static const char* dir_name(int dir);
+
+  /// ASCII mesh rendering: one cell per node showing its total outgoing
+  /// flit-hops on a 0..9 scale ('.' = zero, '9' = hottest node), plus a
+  /// legend and the hottest single link.
+  void render_ascii(std::ostream& os) const;
+
+  /// CSV: node,x,y,dir,flit_hops,stall_cycles — one row per existing link.
+  void write_csv(std::ostream& os) const;
+
+  /// JSON array: [{"node", "x", "y", "dir", "flit_hops", "stall_cycles"}].
+  void write_json(std::ostream& os) const;
+
+private:
+  [[nodiscard]] std::size_t index(int node, int dir) const {
+    return static_cast<std::size_t>(node) * kDirs + static_cast<std::size_t>(dir);
+  }
+
+  int w_ = 0, h_ = 0;
+  std::vector<std::uint64_t> hops_, stalls_;
+};
+
+} // namespace mdw::obs

@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+
+#include "obs/heatmap.h"
+
+namespace mdw::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (metric names are ours, but be safe).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void write_histogram_json(std::ostream& os, const HistogramMetric& h) {
+  os << "{\"count\": " << h.count() << ", \"mean\": " << h.mean()
+     << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+     << ", \"stddev\": " << h.stddev() << ", \"p50\": " << h.p50()
+     << ", \"p90\": " << h.p90() << ", \"p99\": " << h.p99()
+     << ", \"buckets\": [";
+  const auto& counts = h.histogram().buckets();
+  bool first = true;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "[" << i << ", " << counts[i] << "]";
+  }
+  os << "]}";
+}
+
+template <typename Map, typename Fn>
+void write_section(std::ostream& os, const char* key, const Map& map, Fn fn) {
+  os << "  \"" << key << "\": {";
+  bool first = true;
+  for (const auto& [name, metric] : map) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    \"" << json_escape(name) << "\": ";
+    fn(*metric);
+  }
+  os << (first ? "" : "\n  ") << "}";
+}
+
+} // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double bucket_width,
+                                            std::size_t buckets) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HistogramMetric>(lo, bucket_width, buckets);
+  return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\n";
+  write_section(os, "counters", counters_,
+                [&os](const Counter& c) { os << c.value(); });
+  os << ",\n";
+  write_section(os, "gauges", gauges_,
+                [&os](const Gauge& g) { os << g.value(); });
+  os << ",\n";
+  write_section(os, "histograms", histograms_,
+                [&os](const HistogramMetric& h) { write_histogram_json(os, h); });
+  os << "\n}\n";
+}
+
+bool write_metrics_json_file(const std::string& path,
+                             const MetricsRegistry& registry,
+                             const LinkHeatmap* heatmap) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n\"metrics\": ";
+  registry.write_json(os);
+  if (heatmap != nullptr) {
+    os << ",\n\"links\": ";
+    heatmap->write_json(os);
+  }
+  os << "\n}\n";
+  return static_cast<bool>(os);
+}
+
+} // namespace mdw::obs

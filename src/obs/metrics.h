@@ -1,0 +1,133 @@
+// Observability: named counters, gauges, and fixed-bucket histograms with
+// percentile summaries, owned by a MetricsRegistry (one per dsm::Machine).
+//
+// Hot-path contract: metric objects are plain memory writes.  Name lookups
+// (std::map) happen once, at bind time; simulation code holds a pointer or a
+// SamplerHandle and never touches the registry per event.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sim/stats.h"
+
+namespace mdw::obs {
+
+class LinkHeatmap;
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  /// Snapshot-style overwrite (used when mirroring legacy stats structs).
+  void set(std::uint64_t v) { v_ = v; }
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+
+private:
+  std::uint64_t v_ = 0;
+};
+
+/// Point-in-time value (occupancy, queue depth, cycle count).
+class Gauge {
+public:
+  void set(double v) { v_ = v; }
+  [[nodiscard]] double value() const { return v_; }
+
+private:
+  double v_ = 0.0;
+};
+
+/// Fixed-bucket histogram with streaming moments (via sim::Histogram) and
+/// bucket-resolution percentiles.
+class HistogramMetric {
+public:
+  HistogramMetric(double lo, double bucket_width, std::size_t buckets)
+      : h_(lo, bucket_width, buckets) {}
+
+  void add(double x) { h_.add(x); }
+
+  [[nodiscard]] std::uint64_t count() const { return h_.sampler().count(); }
+  [[nodiscard]] double sum() const { return h_.sampler().sum(); }
+  [[nodiscard]] double mean() const { return h_.sampler().mean(); }
+  [[nodiscard]] double min() const { return h_.sampler().min(); }
+  [[nodiscard]] double max() const { return h_.sampler().max(); }
+  [[nodiscard]] double stddev() const { return h_.sampler().stddev(); }
+  [[nodiscard]] double quantile(double q) const { return h_.quantile(q); }
+  [[nodiscard]] double p50() const { return h_.quantile(0.50); }
+  [[nodiscard]] double p90() const { return h_.quantile(0.90); }
+  [[nodiscard]] double p99() const { return h_.quantile(0.99); }
+
+  [[nodiscard]] const sim::Histogram& histogram() const { return h_; }
+
+private:
+  sim::Histogram h_;
+};
+
+/// Named metric store.  get-or-create accessors return stable references
+/// (metrics are never removed); find_* return nullptr when absent.
+class MetricsRegistry {
+public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// The bucket layout is fixed by the first call for a given name;
+  /// subsequent calls return the existing histogram unchanged.
+  [[nodiscard]] HistogramMetric& histogram(const std::string& name, double lo,
+                                           double bucket_width,
+                                           std::size_t buckets);
+
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const HistogramMetric* find_histogram(
+      const std::string& name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, mean,
+  /// min, max, stddev, p50, p90, p99, bucket_lo, bucket_width, buckets}}}.
+  /// Only non-empty buckets are emitted, as [index, count] pairs.
+  void write_json(std::ostream& os) const;
+
+private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Sampler-compatible facade over a registry histogram: keeps the existing
+/// `stats().inval_latency.mean()`-style call sites compiling while the data
+/// lands in the registry (and gains percentiles).  Unbound handles drop
+/// samples and report zeros.
+class SamplerHandle {
+public:
+  SamplerHandle() = default;
+  explicit SamplerHandle(HistogramMetric* h) : h_(h) {}
+
+  void bind(HistogramMetric* h) { h_ = h; }
+  [[nodiscard]] bool bound() const { return h_ != nullptr; }
+
+  void add(double x) {
+    if (h_) h_->add(x);
+  }
+  [[nodiscard]] std::uint64_t count() const { return h_ ? h_->count() : 0; }
+  [[nodiscard]] double sum() const { return h_ ? h_->sum() : 0.0; }
+  [[nodiscard]] double mean() const { return h_ ? h_->mean() : 0.0; }
+  [[nodiscard]] double min() const { return h_ ? h_->min() : 0.0; }
+  [[nodiscard]] double max() const { return h_ ? h_->max() : 0.0; }
+  [[nodiscard]] double stddev() const { return h_ ? h_->stddev() : 0.0; }
+  [[nodiscard]] double quantile(double q) const {
+    return h_ ? h_->quantile(q) : 0.0;
+  }
+
+private:
+  HistogramMetric* h_ = nullptr;
+};
+
+/// Write one combined metrics dump: the registry plus (optionally) a
+/// per-link heatmap under a top-level "links" key.  Returns false when the
+/// file cannot be opened.
+bool write_metrics_json_file(const std::string& path,
+                             const MetricsRegistry& registry,
+                             const LinkHeatmap* heatmap);
+
+} // namespace mdw::obs

@@ -1,0 +1,82 @@
+#include "obs/trace_writer.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace mdw::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+} // namespace
+
+void TraceWriter::complete(std::string name, const char* cat, Cycle ts,
+                           Cycle dur, int tid, std::string args_json) {
+  events_.push_back(Event{'X', ts, dur, tid, 0.0, std::move(name), cat,
+                          std::move(args_json)});
+}
+
+void TraceWriter::counter(std::string name, Cycle ts, int tid, double value) {
+  events_.push_back(Event{'C', ts, 0, tid, value, std::move(name), "", {}});
+}
+
+void TraceWriter::instant(std::string name, const char* cat, Cycle ts,
+                          int tid) {
+  events_.push_back(Event{'i', ts, 0, tid, 0.0, std::move(name), cat, {}});
+}
+
+void TraceWriter::write(std::ostream& os) const {
+  std::vector<const Event*> sorted;
+  sorted.reserve(events_.size());
+  for (const Event& e : events_) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event* a, const Event* b) { return a->ts < b->ts; });
+
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event* e : sorted) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\": \"" << json_escape(e->name) << "\", \"ph\": \""
+       << e->ph << "\", \"ts\": " << e->ts << ", \"pid\": 0, \"tid\": "
+       << e->tid;
+    switch (e->ph) {
+      case 'X':
+        os << ", \"cat\": \"" << e->cat << "\", \"dur\": " << e->dur;
+        if (!e->args.empty()) os << ", \"args\": " << e->args;
+        break;
+      case 'C':
+        os << ", \"args\": {\"value\": " << e->value << "}";
+        break;
+      case 'i':
+        os << ", \"cat\": \"" << e->cat << "\", \"s\": \"t\"";
+        break;
+      default: break;
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+bool TraceWriter::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+} // namespace mdw::obs

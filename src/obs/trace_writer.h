@@ -1,0 +1,56 @@
+// Chrome trace-event JSON writer (chrome://tracing / Perfetto compatible).
+//
+// Components hold a `TraceWriter*` that is nullptr when tracing is off; every
+// emit site is guarded by that pointer, so the disabled cost is one branch.
+// Timestamps are simulation cycles written as microseconds (1 cycle = 1 us in
+// the viewer); tracks are (pid = 0, tid = node id).  Events are buffered and
+// sorted by timestamp on write, so the output has monotonic `ts` fields.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace mdw::obs {
+
+class TraceWriter {
+public:
+  /// Completed span ("ph":"X"): [ts, ts+dur) on track `tid`.  `args_json`,
+  /// when non-empty, must be a JSON object literal (e.g. R"({"d": 4})").
+  void complete(std::string name, const char* cat, Cycle ts, Cycle dur,
+                int tid, std::string args_json = {});
+
+  /// Counter sample ("ph":"C"); rendered by the viewer as a value track.
+  void counter(std::string name, Cycle ts, int tid, double value);
+
+  /// Instant event ("ph":"i", thread scope).
+  void instant(std::string name, const char* cat, Cycle ts, int tid);
+
+  [[nodiscard]] std::size_t num_events() const { return events_.size(); }
+
+  /// {"traceEvents": [...]} with events sorted by ts (stable, so same-cycle
+  /// events keep emission order).
+  void write(std::ostream& os) const;
+
+  /// Returns false when the file cannot be opened or written.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+private:
+  struct Event {
+    char ph;
+    Cycle ts;
+    Cycle dur;       // "X" events only
+    int tid;
+    double value;    // "C" events only
+    std::string name;
+    const char* cat;
+    std::string args;
+  };
+
+  std::vector<Event> events_;
+};
+
+} // namespace mdw::obs

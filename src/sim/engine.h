@@ -15,6 +15,10 @@
 #include "sim/event_queue.h"
 #include "sim/types.h"
 
+namespace mdw::obs {
+class TraceWriter;
+}
+
 namespace mdw::sim {
 
 /// A component that must be evaluated every cycle while the network is busy.
@@ -51,6 +55,12 @@ public:
   /// Advance exactly `n` cycles regardless of activity.
   void run_for(Cycle n);
 
+  /// Opt-in event tracing: nullptr (the default) disables it.  Components
+  /// pick the writer up from here at construction; the engine itself emits
+  /// nothing, it is only the distribution point.
+  void set_trace_writer(obs::TraceWriter* t) { tracer_ = t; }
+  [[nodiscard]] obs::TraceWriter* trace_writer() const { return tracer_; }
+
 private:
   /// Execute one cycle: due events first (they may inject traffic), then the
   /// synchronous component sweep. Returns true if anything happened.
@@ -59,6 +69,7 @@ private:
   Cycle now_ = 0;
   EventQueue queue_;
   std::vector<Tickable*> tickables_;
+  obs::TraceWriter* tracer_ = nullptr;
 };
 
 } // namespace mdw::sim

@@ -1,0 +1,247 @@
+// Observability subsystem: histogram bucket boundaries and percentiles,
+// registry get-or-create semantics, SamplerHandle null-safety, link heatmap
+// accounting, and Chrome-trace JSON structure (monotonic ts).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dsm/machine.h"
+#include "obs/heatmap.h"
+#include "obs/metrics.h"
+#include "obs/trace_writer.h"
+
+using namespace mdw;
+
+namespace {
+
+/// Extract every numeric "ts" field from a trace-event JSON dump, in order.
+std::vector<long long> extract_ts(const std::string& json) {
+  std::vector<long long> out;
+  const std::string key = "\"ts\": ";
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + 1)) {
+    out.push_back(std::stoll(json.substr(pos + key.size())));
+  }
+  return out;
+}
+
+} // namespace
+
+TEST(HistogramMetric, BucketBoundaries) {
+  obs::HistogramMetric h(0.0, 10.0, 5);
+  h.add(9.999);   // just under the first boundary -> bucket 0
+  h.add(10.0);    // exactly on the boundary -> bucket 1
+  h.add(49.999);  // last regular bucket
+  h.add(50.0);    // past the top -> overflow bucket
+  h.add(1e9);     // far past the top -> overflow bucket
+  h.add(-3.0);    // below lo clamps to bucket 0
+
+  const auto& b = h.histogram().buckets();
+  ASSERT_EQ(b.size(), 6u);  // 5 regular + 1 overflow
+  EXPECT_EQ(b[0], 2u);
+  EXPECT_EQ(b[1], 1u);
+  EXPECT_EQ(b[4], 1u);
+  EXPECT_EQ(b[5], 2u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(HistogramMetric, PercentilesOnKnownDistribution) {
+  // Values 1..100 with unit buckets: quantile() reports the upper edge of
+  // the first bucket whose cumulative count exceeds q * total.
+  obs::HistogramMetric h(0.0, 1.0, 128);
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.p50(), 52.0);
+  EXPECT_DOUBLE_EQ(h.p90(), 92.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 101.0);
+  // Degenerate distribution: every percentile lands in the same bucket.
+  obs::HistogramMetric one(0.0, 1.0, 8);
+  for (int i = 0; i < 50; ++i) one.add(3.5);
+  EXPECT_DOUBLE_EQ(one.p50(), 4.0);
+  EXPECT_DOUBLE_EQ(one.p99(), 4.0);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableObjects) {
+  obs::MetricsRegistry r;
+  obs::Counter& c1 = r.counter("worms");
+  c1.inc(3);
+  obs::Counter& c2 = r.counter("worms");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 3u);
+
+  obs::Gauge& g = r.gauge("cycles");
+  g.set(42.0);
+  EXPECT_DOUBLE_EQ(r.gauge("cycles").value(), 42.0);
+
+  obs::HistogramMetric& h1 = r.histogram("lat", 0.0, 16.0, 8);
+  h1.add(20.0);
+  // Repeated calls ignore the (different) layout and return the original.
+  obs::HistogramMetric& h2 = r.histogram("lat", 0.0, 1.0, 4);
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.count(), 1u);
+
+  EXPECT_NE(r.find_counter("worms"), nullptr);
+  EXPECT_EQ(r.find_counter("nope"), nullptr);
+  EXPECT_EQ(r.find_gauge("nope"), nullptr);
+  EXPECT_EQ(r.find_histogram("nope"), nullptr);
+}
+
+TEST(MetricsRegistry, JsonDumpContainsAllSections) {
+  obs::MetricsRegistry r;
+  r.counter("hops").inc(7);
+  r.gauge("depth").set(2.5);
+  r.histogram("lat", 0.0, 1.0, 4).add(1.5);
+  std::ostringstream os;
+  r.write_json(os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"hops\": 7"), std::string::npos);
+  EXPECT_NE(j.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("\"p99\""), std::string::npos);
+  // Braces balance (cheap structural validity check).
+  long depth = 0;
+  for (char c : j) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(SamplerHandle, UnboundIsSafeBoundForwards) {
+  obs::SamplerHandle s;
+  EXPECT_FALSE(s.bound());
+  s.add(5.0);  // dropped, no crash
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+
+  obs::HistogramMetric h(0.0, 1.0, 16);
+  s.bind(&h);
+  EXPECT_TRUE(s.bound());
+  s.add(2.0);
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LinkHeatmap, RecordsAndAggregates) {
+  obs::LinkHeatmap hm(3, 2);  // nodes 0..5, node = y*3 + x
+  hm.record_hop(0, 2);        // (0,0) East
+  hm.record_hop(0, 2);
+  hm.record_hop(4, 0);        // (1,1) North
+  hm.record_stall(0, 2);
+
+  EXPECT_EQ(hm.hops(0, 2), 2u);
+  EXPECT_EQ(hm.hops(4, 0), 1u);
+  EXPECT_EQ(hm.total_hops(), 3u);
+  EXPECT_EQ(hm.total_stalls(), 1u);
+
+  const auto hot = hm.hottest();
+  EXPECT_EQ(hot.node, 0);
+  EXPECT_EQ(hot.dir, 2);
+  EXPECT_EQ(hot.hops, 2u);
+
+  // Edge links do not exist: West from x=0, East from x=2, South from y=0.
+  EXPECT_FALSE(hm.has_link(0, 3));
+  EXPECT_FALSE(hm.has_link(2, 2));
+  EXPECT_FALSE(hm.has_link(1, 1));
+  EXPECT_TRUE(hm.has_link(0, 2));
+  EXPECT_TRUE(hm.has_link(0, 0));
+
+  std::ostringstream csv;
+  hm.write_csv(csv);
+  EXPECT_NE(csv.str().find("node,x,y,dir,flit_hops,stall_cycles"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("0,0,0,E,2,1"), std::string::npos);
+}
+
+TEST(TraceWriter, OutputIsSortedAndWellFormed) {
+  obs::TraceWriter tw;
+  tw.complete("late", "noc", 500, 10, 1);
+  tw.instant("first", "dsm", 5, 0);
+  tw.counter("bank", 250, 3, 2.0);
+  tw.complete("early", "noc", 100, 50, 2, R"({"d": 4})");
+  ASSERT_EQ(tw.num_events(), 4u);
+
+  std::ostringstream os;
+  tw.write(os);
+  const std::string j = os.str();
+
+  const auto ts = extract_ts(j);
+  ASSERT_EQ(ts.size(), 4u);
+  for (std::size_t i = 1; i < ts.size(); ++i) EXPECT_LE(ts[i - 1], ts[i]);
+
+  EXPECT_EQ(j.rfind("{\"traceEvents\": [", 0), 0u);  // prefix
+  EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(j.find("\"args\": {\"d\": 4}"), std::string::npos);
+  long depth = 0;
+  for (char c : j) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Observability, MachineEndToEnd) {
+  // One invalidation transaction on a 4x4 machine with registry + tracer
+  // attached: the histogram fills, the heatmap sees flits, the trace has
+  // monotonically increasing timestamps and worm/txn spans.
+  obs::MetricsRegistry registry;
+  obs::TraceWriter trace;
+  dsm::SystemParams p;
+  p.mesh_w = p.mesh_h = 4;
+  p.scheme = core::Scheme::UiUa;
+  dsm::Machine m(p, &registry);
+  m.set_trace_writer(&trace);
+
+  const BlockAddr a = static_cast<BlockAddr>(m.num_nodes()) + 5;  // home = 5
+  for (NodeId s : {NodeId{0}, NodeId{3}, NodeId{12}}) {
+    bool done = false;
+    m.node(s).read(a, [&](std::uint64_t) { done = true; });
+    ASSERT_TRUE(m.engine().run_until([&] { return done; }, 1'000'000));
+  }
+  m.engine().run_to_quiescence(100'000);
+  bool done = false;
+  m.node(5).write(a, 1, [&] { done = true; });
+  ASSERT_TRUE(m.engine().run_until([&] { return done; }, 1'000'000));
+  m.engine().run_to_quiescence(100'000);
+  m.snapshot_metrics();
+
+  // The registry histogram and the stats facade are the same object.
+  const auto* lat = registry.find_histogram("inval_latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), m.stats().inval_latency.count());
+  EXPECT_GE(lat->count(), 1u);
+  EXPECT_GT(lat->p50(), 0.0);
+
+  const auto* hops = registry.find_counter("link_flit_hops");
+  ASSERT_NE(hops, nullptr);
+  EXPECT_GT(hops->value(), 0u);
+  EXPECT_EQ(hops->value(), m.network().heatmap().total_hops());
+
+  ASSERT_GT(trace.num_events(), 0u);
+  std::ostringstream os;
+  trace.write(os);
+  const std::string j = os.str();
+  const auto ts = extract_ts(j);
+  ASSERT_EQ(ts.size(), trace.num_events());
+  for (std::size_t i = 1; i < ts.size(); ++i) EXPECT_LE(ts[i - 1], ts[i]);
+  EXPECT_NE(j.find("\"name\": \"inval_txn\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\": \"worm.unicast\""), std::string::npos);
+}
