@@ -1,0 +1,218 @@
+// Simulator-throughput benchmark (engineering metric, not a paper figure):
+// how fast the cycle kernel itself runs, in simulated-cycles/sec and
+// flit-hops/sec, across mesh sizes and invalidation schemes.
+//
+// Two workloads:
+//   SingleTxn/<k>x<k>/<scheme>  one invalidation transaction at a time
+//                               (priming untimed) — the sparse-activity
+//                               regime of the latency experiments, where
+//                               <2% of routers hold flits on a 16x16 mesh.
+//   Burst/<k>x<k>               a burst of random unicasts driven to
+//                               quiescence — the dense-activity regime.
+//
+// Usage:
+//   bench_simspeed [--label=<s>] [--metrics-json=<path>] [gbench flags]
+//
+// --metrics-json= writes one trajectory point: {"label", "mode", "results":
+// [{name, sim_cycles_per_sec, flit_hops_per_sec}]}.  Points are accumulated
+// by hand in BENCH_simspeed.json (see README "Simulator throughput").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dsm/machine.h"
+#include "noc/worm_builder.h"
+#include "sim/rng.h"
+#include "workload/synthetic.h"
+
+using namespace mdw;
+
+namespace {
+
+/// Prime `sharers` on block `a` so the next write triggers one invalidation
+/// transaction of degree d.  Mirrors analysis::measure_invalidations.
+void prime(dsm::Machine& m, BlockAddr a, const std::vector<NodeId>& sharers) {
+  for (NodeId s : sharers) {
+    bool done = false;
+    m.node(s).read(a, [&](std::uint64_t) { done = true; });
+    m.engine().run_until([&] { return done; }, 50'000'000);
+  }
+  (void)m.engine().run_to_quiescence(1'000'000);
+}
+
+void BM_SingleTxn(benchmark::State& state, int mesh_k, core::Scheme scheme) {
+  dsm::SystemParams p;
+  p.mesh_w = p.mesh_h = mesh_k;
+  p.scheme = scheme;
+  dsm::Machine m(p);
+  sim::Rng rng(7);
+  const int n = m.num_nodes();
+  const int d = 8;
+  std::uint64_t cycles = 0, hops = 0;
+  BlockAddr a = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    a += static_cast<BlockAddr>(n) + 1;  // fresh block, rotating home
+    const NodeId home = m.home_of(a);
+    NodeId writer = home;
+    while (writer == home) writer = static_cast<NodeId>(rng.next_below(n));
+    prime(m, a,
+          workload::make_sharers(rng, m.network().mesh(), home, writer, d,
+                                 workload::SharerPattern::Uniform));
+    const Cycle c0 = m.engine().now();
+    const std::uint64_t h0 = m.network().stats().link_flit_hops;
+    state.ResumeTiming();
+    bool done = false;
+    m.node(writer).write(a, 1, [&] { done = true; });
+    m.engine().run_until([&] { return done; }, 50'000'000);
+    (void)m.engine().run_to_quiescence(1'000'000);
+    cycles += m.engine().now() - c0;
+    hops += m.network().stats().link_flit_hops - h0;
+  }
+  state.counters["sim_cycles_per_sec"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["flit_hops_per_sec"] =
+      benchmark::Counter(static_cast<double>(hops), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Burst(benchmark::State& state, int mesh_k) {
+  sim::Engine eng;
+  const noc::MeshShape mesh(mesh_k, mesh_k);
+  noc::Network net(eng, mesh, noc::NocParams{});
+  net.set_delivery_handler([](NodeId, const noc::WormPtr&) {});
+  sim::Rng rng(11);
+  const int n = mesh.num_nodes();
+  TxnId txn = 0;
+  std::uint64_t cycles = 0, hops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const Cycle c0 = eng.now();
+    const std::uint64_t h0 = net.stats().link_flit_hops;
+    state.ResumeTiming();
+    for (int i = 0; i < 2 * mesh_k; ++i) {
+      const auto s = static_cast<NodeId>(rng.next_below(n));
+      auto dst = static_cast<NodeId>(rng.next_below(n));
+      if (dst == s) dst = (dst + 1) % n;
+      net.inject(noc::make_unicast(mesh, noc::RoutingAlgo::EcubeXY,
+                                   noc::VNet::Request, s, dst, 16, ++txn,
+                                   nullptr));
+    }
+    (void)eng.run_to_quiescence(1'000'000);
+    cycles += eng.now() - c0;
+    hops += net.stats().link_flit_hops - h0;
+  }
+  state.counters["sim_cycles_per_sec"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["flit_hops_per_sec"] =
+      benchmark::Counter(static_cast<double>(hops), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Console output plus capture of the per-benchmark rate counters so main()
+/// can emit the --metrics-json trajectory point.
+class CapturingReporter : public benchmark::ConsoleReporter {
+public:
+  struct Row {
+    std::string name;
+    double cycles_per_sec = 0;
+    double hops_per_sec = 0;
+  };
+  std::vector<Row> rows;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& r : runs) {
+      if (r.error_occurred) continue;
+      Row row;
+      row.name = r.benchmark_name();
+      if (auto it = r.counters.find("sim_cycles_per_sec"); it != r.counters.end())
+        row.cycles_per_sec = it->second;
+      if (auto it = r.counters.find("flit_hops_per_sec"); it != r.counters.end())
+        row.hops_per_sec = it->second;
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+bool write_point_json(const std::string& path, const std::string& label,
+                      const std::vector<CapturingReporter::Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const char* mode = std::getenv("MDW_FULL_SWEEP") != nullptr &&
+                             *std::getenv("MDW_FULL_SWEEP") != '0'
+                         ? "full_sweep"
+                         : "active_region";
+  std::fprintf(f, "{\n  \"schema\": \"mdw.bench_simspeed.v1\",\n");
+  std::fprintf(f, "  \"label\": \"%s\",\n  \"mode\": \"%s\",\n", label.c_str(),
+               mode);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"sim_cycles_per_sec\": %.6g, "
+                 "\"flit_hops_per_sec\": %.6g}%s\n",
+                 rows[i].name.c_str(), rows[i].cycles_per_sec,
+                 rows[i].hops_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path, label = "dev";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--metrics-json=", 0) == 0) {
+      json_path = a.substr(15);
+    } else if (a.rfind("--label=", 0) == 0) {
+      label = a.substr(8);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  const struct {
+    int mesh;
+    core::Scheme scheme;
+  } single_pts[] = {
+      {8, core::Scheme::UiUa},    {16, core::Scheme::UiUa},
+      {32, core::Scheme::UiUa},   {8, core::Scheme::EcCmHg},
+      {16, core::Scheme::EcCmHg}, {32, core::Scheme::EcCmHg},
+      {16, core::Scheme::WfScSg},
+  };
+  for (const auto& pt : single_pts) {
+    const std::string name = "SingleTxn/" + std::to_string(pt.mesh) + "x" +
+                             std::to_string(pt.mesh) + "/" +
+                             std::string(core::scheme_name(pt.scheme));
+    benchmark::RegisterBenchmark(name.c_str(), BM_SingleTxn, pt.mesh,
+                                 pt.scheme);
+  }
+  for (int mesh : {8, 16, 32}) {
+    const std::string name =
+        "Burst/" + std::to_string(mesh) + "x" + std::to_string(mesh);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Burst, mesh);
+  }
+
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (!json_path.empty()) {
+    if (!write_point_json(json_path, label, reporter.rows)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote throughput point to %s\n", json_path.c_str());
+  }
+  return 0;
+}

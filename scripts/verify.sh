@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Full verification: clean build + tier-1 tests, then rebuild the
-# observability tests under ASan/UBSan and run them instrumented.
+# Full verification: clean build + tier-1 tests, a Release build with a
+# bench_simspeed smoke (catches perf-path code that only breaks under -O2),
+# then rebuild the observability tests under ASan/UBSan and run them
+# instrumented.
 #
 #   $ scripts/verify.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
+REL_BUILD="${BUILD}-release"
 SAN_BUILD="${BUILD}-asan"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
@@ -14,6 +17,14 @@ echo "=== tier-1: configure + build + ctest (${BUILD}) ==="
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo
+echo "=== release: -O3 build + bench_simspeed smoke (${REL_BUILD}) ==="
+cmake -B "$REL_BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$REL_BUILD" -j "$JOBS" --target bench_simspeed test_determinism
+"$REL_BUILD"/tests/test_determinism
+"$REL_BUILD"/bench/bench_simspeed --benchmark_min_time=0.05 \
+    --benchmark_filter='SingleTxn/16x16/UI-UA|Burst/8x8'
 
 echo
 echo "=== sanitizers: ASan/UBSan build, obs tests (${SAN_BUILD}) ==="

@@ -1,6 +1,8 @@
 #include "noc/network.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <string>
 
 namespace mdw::noc {
@@ -36,6 +38,14 @@ Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& param
   for (auto& iface : ifaces_) {
     iface.streaming.resize(static_cast<std::size_t>(params_.inj_vcs_total()));
   }
+  bank_counter_names_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    bank_counter_names_.push_back("iack_bank." + std::to_string(id));
+  }
+  const char* sweep_env = std::getenv("MDW_FULL_SWEEP");
+  full_sweep_ =
+      params_.full_sweep || (sweep_env != nullptr && *sweep_env != '0');
+  worklist_.reserve(static_cast<std::size_t>(n));
   // Wire the mesh: router r's output in direction d feeds the neighbour's
   // input port opposite(d).
   for (NodeId id = 0; id < n; ++id) {
@@ -76,6 +86,7 @@ void Network::inject(const WormPtr& worm) {
   ++in_flight_;
   ++queued_worms_;
   ifaces_[worm->src].inject_q[static_cast<int>(worm->vnet)].push_back(worm);
+  wake_router(worm->src);
 }
 
 void Network::reinject(NodeId at, const WormPtr& worm) {
@@ -83,11 +94,13 @@ void Network::reinject(NodeId at, const WormPtr& worm) {
   assert(worm->path[worm->head_hop] == at);
   ++queued_worms_;
   ifaces_[at].inject_q[static_cast<int>(worm->vnet)].push_back(worm);
+  wake_router(at);
 }
 
 void Network::post_iack(NodeId at, TxnId txn, int count) {
   ++pending_posts_;
   ifaces_[at].pending_posts.emplace_back(txn, count);
+  wake_router(at);
 }
 
 void Network::try_pending_posts(NodeId n) {
@@ -131,10 +144,13 @@ void Network::service_injection(NodeId n, Cycle now) {
     if (static_cast<int>(ivc.buf.size()) >= params_.vc_buffer_flits) continue;
     const bool head = st.flits_pushed == 0;
     const bool tail = st.flits_pushed == st.worm->length_flits - 1;
-    ivc.buf.push_back(Flit{st.worm, head, tail, now});
+    ivc.buf.push_back(Flit{head, tail, now});
     ++live_flits_;
     ++r.active_work_;
-    if (head) ivc.ready_at = now + params_.router_delay;
+    if (head) {
+      ivc.ready_at = now + params_.router_delay;
+      r.note_head_arrival(local, v);
+    }
     ++st.flits_pushed;
     if (tail) {
       st.worm = nullptr;
@@ -175,23 +191,101 @@ void Network::on_gather_deposit(NodeId at, const WormPtr& worm) {
   post_iack(at, worm->txn, worm->gathered);
 }
 
+void Network::wake_router(NodeId id) {
+  if (full_sweep_) return;
+  Router& r = *routers_[id];
+  if (r.scheduled_) return;
+  r.scheduled_ = true;
+  if (!in_tick_) {
+    worklist_.push_back(id);  // sorted at the start of the next tick
+    return;
+  }
+  // Splice into the running sweep at the router's rotating-arbitration
+  // position.  If that position is behind the cursor, the exhaustive sweep
+  // would already have passed it this phase too — later phases rescan from
+  // the front, so nothing is lost.
+  const int n = mesh_.num_nodes();
+  const int key = (id - sweep_start_ + n) % n;
+  const auto it = std::lower_bound(
+      worklist_.begin(), worklist_.end(), key,
+      [this, n](NodeId e, int k) { return (e - sweep_start_ + n) % n < k; });
+  const auto pos = static_cast<std::size_t>(it - worklist_.begin());
+  worklist_.insert(it, id);
+  if (pos <= scan_) ++scan_;
+}
+
+bool Network::node_has_work(NodeId id) const {
+  if (routers_[id]->active_work_ > 0) return true;
+  const NetIface& iface = ifaces_[id];
+  if (!iface.pending_posts.empty()) return true;
+  for (const auto& q : iface.inject_q) {
+    if (!q.empty()) return true;
+  }
+  for (const auto& st : iface.streaming) {
+    if (st.worm != nullptr) return true;
+  }
+  return false;
+}
+
 bool Network::tick(Cycle now) {
   if (live_flits_ == 0 && queued_worms_ == 0 && pending_posts_ == 0)
     return false;
   const int n = mesh_.num_nodes();
   const int start = rotate_;
   rotate_ = (rotate_ + 1) % n;
-  for (int i = 0; i < n; ++i) {
-    const NodeId id = (start + i) % n;
+
+  if (full_sweep_) {
+    for (int i = 0; i < n; ++i) {
+      const NodeId id = (start + i) % n;
+      if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
+      routers_[id]->drain_consumption(now);
+    }
+    for (int i = 0; i < n; ++i) {
+      const NodeId id = (start + i) % n;
+      service_injection(id, now);
+    }
+    for (int i = 0; i < n; ++i) routers_[(start + i) % n]->allocate(now);
+    for (int i = 0; i < n; ++i) routers_[(start + i) % n]->traverse(now);
+    return true;
+  }
+
+  // Active-region sweep: identical phase order and, within each phase, the
+  // same (id - start) mod n visit order as the exhaustive sweep — routers
+  // with no work are simply absent.  Routers woken mid-tick are spliced in
+  // at their sorted position by wake_router.
+  sweep_start_ = start;
+  std::sort(worklist_.begin(), worklist_.end(),
+            [start, n](NodeId a, NodeId b) {
+              return (a - start + n) % n < (b - start + n) % n;
+            });
+  in_tick_ = true;
+  for (scan_ = 0; scan_ < worklist_.size(); ++scan_) {
+    const NodeId id = worklist_[scan_];
     if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
     routers_[id]->drain_consumption(now);
   }
-  for (int i = 0; i < n; ++i) {
-    const NodeId id = (start + i) % n;
-    service_injection(id, now);
+  for (scan_ = 0; scan_ < worklist_.size(); ++scan_) {
+    service_injection(worklist_[scan_], now);
   }
-  for (int i = 0; i < n; ++i) routers_[(start + i) % n]->allocate(now);
-  for (int i = 0; i < n; ++i) routers_[(start + i) % n]->traverse(now);
+  for (scan_ = 0; scan_ < worklist_.size(); ++scan_) {
+    routers_[worklist_[scan_]]->allocate(now);
+  }
+  for (scan_ = 0; scan_ < worklist_.size(); ++scan_) {
+    routers_[worklist_[scan_]]->traverse(now);
+  }
+  in_tick_ = false;
+
+  // Deschedule fully drained routers; they re-enter via wake_router.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < worklist_.size(); ++i) {
+    const NodeId id = worklist_[i];
+    if (node_has_work(id)) {
+      worklist_[kept++] = id;
+    } else {
+      routers_[id]->scheduled_ = false;
+    }
+  }
+  worklist_.resize(kept);
   return true;
 }
 

@@ -10,6 +10,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "noc/router.h"
@@ -101,8 +102,10 @@ public:
     heatmap_.record_stall(from, static_cast<int>(d));
   }
   /// Emit an i-ack bank occupancy counter sample (call only when tracing).
+  /// Counter names are precomputed per node: occupancy samples fire on the
+  /// allocation path, where a string build per sample would be hot.
   void trace_bank_occupancy(NodeId at, int in_use, Cycle now) {
-    tracer_->counter("iack_bank." + std::to_string(at), now, at,
+    tracer_->counter(bank_counter_names_[at], now, at,
                      static_cast<double>(in_use));
   }
   void on_delivery(NodeId where, const WormPtr& worm, bool final_dest, Cycle now);
@@ -112,6 +115,20 @@ public:
   /// Live-flit accounting, used for cheap global activity detection.
   void on_flit_removed() { --live_flits_; }
   void on_flit_copied() { ++live_flits_; }
+  /// Put router `id` on the active worklist (no-op if already there, or in
+  /// full-sweep mode).  Called on injection, incoming flits, and i-ack
+  /// posts.  During a tick the router is spliced into the current sweep at
+  /// its rotating-arbitration position, so activity discovered mid-cycle is
+  /// handled exactly when the exhaustive sweep would have reached it.
+  void wake_router(NodeId id);
+
+  /// True while the node can make progress without an external wake: flits
+  /// resident in the router, posts to retry, or worms queued/streaming at
+  /// the NI.  A false return means the router may be descheduled.
+  [[nodiscard]] bool node_has_work(NodeId id) const;
+
+  /// Active-region vs exhaustive-sweep scheduling (differential testing).
+  [[nodiscard]] bool full_sweep() const { return full_sweep_; }
 
 private:
   void service_injection(NodeId n, Cycle now);
@@ -134,6 +151,16 @@ private:
   std::int64_t queued_worms_ = 0;    // queued or still streaming in
   std::int64_t pending_posts_ = 0;
   int rotate_ = 0;
+
+  // --- active-region scheduling (see DESIGN.md "Scheduling model") --------
+  bool full_sweep_ = false;          // escape hatch: tick all routers
+  std::vector<NodeId> worklist_;     // scheduled routers; sorted per tick
+  std::size_t scan_ = 0;             // cursor into worklist_ mid-phase
+  bool in_tick_ = false;             // wakes splice into the running sweep
+  int sweep_start_ = 0;              // this tick's rotating start index
+
+  /// Precomputed "iack_bank.<n>" counter names (see trace_bank_occupancy).
+  std::vector<std::string> bank_counter_names_;
 };
 
 } // namespace mdw::noc

@@ -1,5 +1,6 @@
 #include "noc/router.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "noc/network.h"
@@ -241,49 +242,62 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
   return true;
 }
 
+void Router::note_head_arrival(int port, int v) {
+  const auto key = static_cast<std::uint16_t>((port << 8) | v);
+  const auto it =
+      std::lower_bound(pending_heads_.begin(), pending_heads_.end(), key);
+  if (it == pending_heads_.end() || *it != key) pending_heads_.insert(it, key);
+}
+
 void Router::allocate(Cycle now) {
-  if (active_work_ == 0) return;
-  for (int port = 0; port < kNumPorts; ++port) {
-    for (auto& v : vcs_[port]) {
-      if (!v.routed && !v.buf.empty() && v.buf.front().head &&
-          v.buf.front().arrival < now) {
-        (void)try_allocate_head(v, now);
-      }
+  // The sorted pending-head list visits exactly the VCs the exhaustive
+  // (port-major, then VC-index) scan would have tried, in the same order.
+  for (std::size_t i = 0; i < pending_heads_.size();) {
+    const int port = pending_heads_[i] >> 8;
+    const int vi = pending_heads_[i] & 0xff;
+    InputVc& v = vcs_[port][vi];
+    assert(!v.routed && !v.buf.empty() && v.buf.front().head);
+    if (v.buf.front().arrival < now && try_allocate_head(v, now)) {
+      pending_heads_.erase(pending_heads_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      continue;
     }
+    ++i;  // not ready yet or blocked on a resource: retry next cycle
   }
 }
 
 void Router::move_one_flit(int /*port*/, InputVc& v, Cycle now) {
   const Flit f = v.buf.front();
-  const WormPtr w = v.owner;
 
   if (v.drain_to_bank) {
     v.buf.pop_front();
     net_.on_flit_removed();
     --active_work_;
-    if (f.tail && v.deposit_at_tail) net_.on_gather_deposit(id_, w);
+    if (f.tail && v.deposit_at_tail) net_.on_gather_deposit(id_, v.owner);
   } else if (v.final_here) {
     auto& ch = cons_[v.cons_ch];
     v.buf.pop_front();
-    ch.buf.push_back(Flit{w, f.head, f.tail, now});
+    ch.buf.push_back(Flit{f.head, f.tail, now});
     // flit stays resident (moved within this router): no live-flit change
   } else {
     OutLink& link = out_[v.out_port];
     link.used_this_cycle = true;
     InputVc& dvc = link.nbr->vc(link.nbr_port, v.out_vc);
     v.buf.pop_front();
-    dvc.buf.push_back(Flit{w, f.head, f.tail, now});
+    dvc.buf.push_back(Flit{f.head, f.tail, now});
     --active_work_;
     ++link.nbr->active_work_;
+    net_.wake_router(link.nbr->id_);
     if (f.head) {
-      w->head_hop += 1;
+      v.owner->head_hop += 1;
       dvc.ready_at = now + params_.router_delay;
+      link.nbr->note_head_arrival(link.nbr_port, v.out_vc);
     }
     ++stats_.flits_forwarded;
     net_.count_link_flit(id_, static_cast<Dir>(v.out_port));
     if (v.deliver_here) {
       auto& ch = cons_[v.cons_ch];
-      ch.buf.push_back(Flit{w, f.head, f.tail, now});
+      ch.buf.push_back(Flit{f.head, f.tail, now});
       ++active_work_;
       net_.on_flit_copied();
       if (f.tail) ++net_.stats().absorb_deliveries;

@@ -42,12 +42,21 @@ struct NocParams {
   int cons_buffer_flits = 2;       // consumption channel buffer depth
   int iack_entries = 4;            // i-ack buffer entries per interface
 
+  /// Differential-testing escape hatch: tick every router every cycle (the
+  /// original O(W*H) sweep) instead of only the active-region worklist.
+  /// Also enabled by the MDW_FULL_SWEEP environment variable.  Both modes
+  /// produce bit-identical simulations; see DESIGN.md "Scheduling model".
+  bool full_sweep = false;
+
   [[nodiscard]] int vcs_total() const { return kNumVNets * vcs_per_vnet; }
   [[nodiscard]] int inj_vcs_total() const { return kNumVNets * inj_vcs_per_vnet; }
 };
 
+/// One flit in a buffer.  Deliberately tiny: worm ownership lives in
+/// InputVc::owner / ConsumptionChannel::worm, so moving a flit is a copy of
+/// two flags and a timestamp — no shared_ptr refcount traffic on the hop
+/// path.
 struct Flit {
-  WormPtr worm;
   bool head = false;
   bool tail = false;
   Cycle arrival = 0;
@@ -105,7 +114,9 @@ public:
 
   /// Phase 1: drain consumption channels (<=1 flit per channel per cycle).
   void drain_consumption(Cycle now);
-  /// Phase 2: route + resource allocation for heads at VC fronts.
+  /// Phase 2: route + resource allocation for heads at VC fronts.  Only VCs
+  /// on the pending-head list are visited; heads enqueue themselves on
+  /// arrival and leave on successful allocation.
   void allocate(Cycle now);
   /// Phase 3: switch traversal; moves flits out of input VCs.
   void traverse(Cycle now);
@@ -135,6 +146,11 @@ private:
   void move_one_flit(int port, InputVc& v, Cycle now);
   int find_free_cons_channel() const;
 
+  /// A head flit was pushed into vcs_[port][v]: register it for allocation.
+  /// The list is kept sorted by (port, vc) so allocation visits heads in
+  /// exactly the order the exhaustive port/VC scan used to.
+  void note_head_arrival(int port, int v);
+
   Network& net_;
   NodeId id_;
   NocParams params_;
@@ -147,6 +163,12 @@ private:
   /// Flits resident in this router (input VCs + consumption channels); used
   /// to skip idle routers cheaply.
   int active_work_ = 0;
+  /// On the Network's active-router worklist (woken by injection, incoming
+  /// flits, or pending i-ack posts; descheduled once fully drained).
+  bool scheduled_ = false;
+  /// Unrouted head flits awaiting allocation, packed (port << 8) | vc,
+  /// sorted ascending.
+  std::vector<std::uint16_t> pending_heads_;
   int rr_port_ = 0;  // round-robin pointers
   std::array<int, kNumPorts> rr_vc_{};
 };

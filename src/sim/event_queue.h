@@ -4,9 +4,9 @@
 // Ties are broken by insertion order so simulations are fully deterministic.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/types.h"
@@ -19,23 +19,26 @@ public:
 
   /// Schedule `cb` to fire at absolute cycle `when`.
   void schedule_at(Cycle when, Callback cb) {
-    heap_.push(Entry{when, seq_++, std::move(cb)});
+    heap_.push_back(Entry{when, seq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Entry::Later{});
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Earliest pending event time; only valid when !empty().
-  [[nodiscard]] Cycle next_time() const { return heap_.top().when; }
+  [[nodiscard]] Cycle next_time() const { return heap_.front().when; }
 
   /// Pop and run every event scheduled at or before `now`.  Events scheduled
   /// by a running callback for time <= now run in the same call.
   void run_due(Cycle now) {
-    while (!heap_.empty() && heap_.top().when <= now) {
-      // Move the callback out before popping so it can schedule new events.
-      Callback cb = std::move(const_cast<Entry&>(heap_.top()).cb);
-      heap_.pop();
-      cb();
+    while (!heap_.empty() && heap_.front().when <= now) {
+      // A plain vector heap lets the entry be moved out before running it,
+      // so the callback can freely schedule new events.
+      std::pop_heap(heap_.begin(), heap_.end(), Entry::Later{});
+      Entry e = std::move(heap_.back());
+      heap_.pop_back();
+      e.cb();
     }
   }
 
@@ -44,11 +47,14 @@ private:
     Cycle when;
     std::uint64_t seq;
     Callback cb;
-    bool operator>(const Entry& o) const {
-      return when != o.when ? when > o.when : seq > o.seq;
-    }
+    /// Min-heap order: the entry firing later sorts toward the heap bottom.
+    struct Later {
+      bool operator()(const Entry& a, const Entry& b) const {
+        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+      }
+    };
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<Entry> heap_;
   std::uint64_t seq_ = 0;
 };
 

@@ -1,0 +1,149 @@
+// Determinism pins for the simulator core.
+//
+// Two guarantees are locked down here:
+//   1. Reproducibility: the same seed produces an identical stats
+//      fingerprint (worms injected/delivered, link flit-hops, invalidation
+//      latency sums) across back-to-back runs.
+//   2. Scheduling equivalence: the active-region router worklist
+//      (Network's default) and the exhaustive full sweep (the
+//      NocParams::full_sweep / MDW_FULL_SWEEP escape hatch) are
+//      bit-identical — same latencies, flit-hops, and occupancy for every
+//      scheme, both for isolated transactions and under concurrency.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "analysis/experiment.h"
+
+namespace mdw {
+namespace {
+
+/// Exact-count fingerprint of one small protocol workload.
+struct Fingerprint {
+  std::uint64_t worms_injected = 0;
+  std::uint64_t worms_delivered = 0;
+  std::uint64_t absorb_deliveries = 0;
+  std::uint64_t link_flit_hops = 0;
+  std::uint64_t gather_deferred = 0;
+  std::uint64_t gather_deposits = 0;
+  std::uint64_t inval_txns = 0;
+  double inval_latency_sum = 0;
+  std::uint64_t occupancy = 0;
+  Cycle end_cycle = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint run_workload(core::Scheme scheme, bool full_sweep,
+                         std::uint64_t seed) {
+  dsm::SystemParams p;
+  p.mesh_w = p.mesh_h = 8;
+  p.scheme = scheme;
+  p.noc.full_sweep = full_sweep;
+  dsm::Machine m(p);
+  sim::Rng rng(seed);
+  const int n = m.num_nodes();
+
+  for (int rep = 0; rep < 4; ++rep) {
+    const auto home = static_cast<NodeId>(rng.next_below(n));
+    NodeId writer = home;
+    while (writer == home) writer = static_cast<NodeId>(rng.next_below(n));
+    const BlockAddr a =
+        static_cast<BlockAddr>(rep + 1) * static_cast<BlockAddr>(n) + home;
+    const auto sharers = workload::make_sharers(
+        rng, m.network().mesh(), home, writer, 6,
+        workload::SharerPattern::Uniform);
+    for (NodeId s : sharers) {
+      bool done = false;
+      m.node(s).read(a, [&](std::uint64_t) { done = true; });
+      EXPECT_TRUE(m.engine().run_until([&] { return done; }, 10'000'000));
+    }
+    bool done = false;
+    m.node(writer).write(a, 1, [&] { done = true; });
+    EXPECT_TRUE(m.engine().run_until([&] { return done; }, 10'000'000));
+    EXPECT_TRUE(m.engine().run_to_quiescence(1'000'000));
+  }
+
+  Fingerprint fp;
+  const noc::NetworkStats& ns = m.network().stats();
+  fp.worms_injected = ns.worms_injected;
+  fp.worms_delivered = ns.worms_delivered;
+  fp.absorb_deliveries = ns.absorb_deliveries;
+  fp.link_flit_hops = ns.link_flit_hops;
+  fp.gather_deferred = ns.gather_deferred;
+  fp.gather_deposits = ns.gather_deposits;
+  fp.inval_txns = m.stats().inval_txns;
+  fp.inval_latency_sum = m.stats().inval_latency.sum();
+  fp.occupancy = m.total_occupancy();
+  fp.end_cycle = m.engine().now();
+  EXPECT_EQ(m.check_coherence(), "");
+  return fp;
+}
+
+constexpr core::Scheme kSchemes[] = {
+    core::Scheme::UiUa,    // UI-UA baseline
+    core::Scheme::EcCmHg,  // MI-MA, e-cube hierarchical gathers
+    core::Scheme::WfScSg,  // MI-MA, west-first serpentine gathers
+};
+
+TEST(Determinism, SameSeedSameFingerprint) {
+  for (core::Scheme s : kSchemes) {
+    const Fingerprint a = run_workload(s, /*full_sweep=*/false, 42);
+    const Fingerprint b = run_workload(s, /*full_sweep=*/false, 42);
+    EXPECT_EQ(a, b) << "scheme " << core::scheme_name(s);
+    EXPECT_GT(a.inval_txns, 0u);
+  }
+}
+
+TEST(Determinism, ActiveRegionMatchesFullSweep) {
+  for (core::Scheme s : kSchemes) {
+    const Fingerprint active = run_workload(s, /*full_sweep=*/false, 7);
+    const Fingerprint sweep = run_workload(s, /*full_sweep=*/true, 7);
+    EXPECT_EQ(active, sweep) << "scheme " << core::scheme_name(s);
+  }
+}
+
+TEST(Determinism, MeasureInvalidationsInvariantUnderScheduler) {
+  for (core::Scheme s : kSchemes) {
+    analysis::InvalExperimentConfig cfg;
+    cfg.mesh = 8;
+    cfg.scheme = s;
+    cfg.d = 6;
+    cfg.repetitions = 3;
+    cfg.seed = 5;
+    const analysis::InvalMeasurement active = measure_invalidations(cfg);
+    cfg.base.noc.full_sweep = true;
+    const analysis::InvalMeasurement sweep = measure_invalidations(cfg);
+    EXPECT_EQ(active.inval_latency, sweep.inval_latency);
+    EXPECT_EQ(active.write_latency, sweep.write_latency);
+    EXPECT_EQ(active.traffic_flits, sweep.traffic_flits);
+    EXPECT_EQ(active.occupancy, sweep.occupancy);
+    EXPECT_EQ(active.messages, sweep.messages);
+    EXPECT_EQ(active.deferred_gathers, sweep.deferred_gathers);
+  }
+}
+
+TEST(Determinism, MeasureHotspotInvariantUnderScheduler) {
+  // Concurrency exercises mid-tick wakes: flits forwarded into routers the
+  // sweep has already passed, and deferred-gather reinjection.
+  analysis::HotspotConfig cfg;
+  cfg.mesh = 8;
+  cfg.scheme = core::Scheme::EcCmHg;
+  cfg.d = 8;
+  cfg.concurrent = 4;
+  cfg.rounds = 2;
+  cfg.seed = 3;
+  const analysis::HotspotMeasurement active = measure_hotspot(cfg);
+  cfg.base.noc.full_sweep = true;
+  const analysis::HotspotMeasurement sweep = measure_hotspot(cfg);
+  ASSERT_TRUE(active.completed);
+  ASSERT_TRUE(sweep.completed);
+  EXPECT_EQ(active.inval_latency, sweep.inval_latency);
+  EXPECT_EQ(active.makespan, sweep.makespan);
+  EXPECT_EQ(active.traffic_flits, sweep.traffic_flits);
+  EXPECT_EQ(active.deferred_gathers, sweep.deferred_gathers);
+  EXPECT_EQ(active.bank_blocked_cycles, sweep.bank_blocked_cycles);
+}
+
+} // namespace
+} // namespace mdw
