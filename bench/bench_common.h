@@ -28,33 +28,56 @@ inline void banner(const char* exp_id, const char* what) {
               exp_id, what);
 }
 
-/// Observability command-line options, honored by the instrumented benches
-/// (bench_hotspot, bench_miss_latency, bench_apps):
+/// Bench command-line options.  Every bench binary parses its argv through
+/// parse_options, and any unrecognized or misspelled `--` flag (e.g.
+/// `--metric-json=` for `--metrics-json=`) is a hard usage error — flags
+/// are never silently dropped.
+///
+/// All benches:
 ///   --metrics-json=<path>   write the metrics registry + per-link heatmap
 ///   --trace=<path>          write a Chrome trace (chrome://tracing, Perfetto)
+/// Sweep-migrated benches (E3, E4, E5, E8) additionally accept:
+///   --jobs=N                sweep worker threads (default: hw concurrency)
+///   --points-json=<path>    write per-point sweep results as JSON
+///   --no-progress           suppress the stderr progress line
 struct BenchOptions {
   std::string metrics_json;
   std::string trace;
+  std::string points_json;
+  int jobs = 0;          // 0 = hardware_concurrency
+  bool progress = true;  // sweeps show progress only when stderr is a tty
   [[nodiscard]] bool enabled() const {
     return !metrics_json.empty() || !trace.empty();
   }
   [[nodiscard]] bool tracing() const { return !trace.empty(); }
 };
 
-inline BenchOptions parse_options(int argc, char** argv) {
+/// `sweep`: accept the sweep-runner flags too (the migrated grid benches).
+inline BenchOptions parse_options(int argc, char** argv, bool sweep = false) {
   BenchOptions opt;
+  auto fail = [&](const std::string& a) {
+    std::fprintf(stderr,
+                 "unknown option '%s'\nusage: %s [--metrics-json=<path>] "
+                 "[--trace=<path>]%s\n",
+                 a.c_str(), argv[0],
+                 sweep ? " [--jobs=N] [--points-json=<path>] [--no-progress]"
+                       : "");
+    std::exit(2);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--metrics-json=", 0) == 0) {
       opt.metrics_json = a.substr(15);
     } else if (a.rfind("--trace=", 0) == 0) {
       opt.trace = a.substr(8);
+    } else if (sweep && a.rfind("--jobs=", 0) == 0) {
+      opt.jobs = std::atoi(a.c_str() + 7);
+    } else if (sweep && a.rfind("--points-json=", 0) == 0) {
+      opt.points_json = a.substr(14);
+    } else if (sweep && a == "--no-progress") {
+      opt.progress = false;
     } else {
-      std::fprintf(stderr,
-                   "unknown option '%s'\nusage: %s [--metrics-json=<path>] "
-                   "[--trace=<path>]\n",
-                   a.c_str(), argv[0]);
-      std::exit(2);
+      fail(a);
     }
   }
   return opt;

@@ -1,65 +1,61 @@
 // E8: hot-spot / contention study [47] — many concurrent invalidation
 // transactions.  Shows the congestion relief around the home nodes that
-// multidestination worms provide under load.
-#include "bench_common.h"
+// multidestination worms provide under load.  The (concurrent, scheme) grid
+// lives in sweep::named_grid("e8") and runs across --jobs worker threads;
+// the adaptive-routing comparison is a second small grid over a
+// SystemParams variant axis.  The link-load profile and the instrumented
+// observability pass are single-machine harnesses and stay serial.
+#include "bench_sweep_common.h"
 
 using namespace mdw;
 
 int main(int argc, char** argv) {
-  const bench::BenchOptions opt = bench::parse_options(argc, argv);
-  bench::banner("E8", "concurrent invalidation transactions (16x16 mesh, "
-                      "d=16 per transaction, 3 rounds)");
+  const bench::BenchOptions opt = bench::parse_options(argc, argv, true);
+  const sweep::NamedGrid& g = *sweep::named_grid("e8");
+  bench::banner("E8", g.description);
 
-  const core::Scheme schemes[] = {core::Scheme::UiUa, core::Scheme::EcCmUa,
-                                  core::Scheme::EcCmCg, core::Scheme::EcCmHg,
-                                  core::Scheme::WfScSg};
-
-  for (const char* metric : {"mean inval latency", "round makespan"}) {
-    std::printf("--- %s (cycles) ---\n", metric);
-    std::vector<std::string> headers{"concurrent"};
-    for (core::Scheme s : schemes) headers.push_back(bench::S(s));
-    analysis::Table t(headers);
-    for (int c : {1, 2, 4, 8, 16}) {
-      std::vector<std::string> row{std::to_string(c)};
-      for (core::Scheme s : schemes) {
-        analysis::HotspotConfig cfg;
-        cfg.mesh = 16;
-        cfg.scheme = s;
-        cfg.d = 16;
-        cfg.concurrent = c;
-        cfg.rounds = 3;
-        cfg.seed = 11 + c;
-        const auto m = analysis::measure_hotspot(cfg);
-        row.push_back(analysis::Table::num(
-            metric == std::string("round makespan") ? m.makespan
-                                                    : m.inval_latency));
-      }
-      t.add_row(std::move(row));
-    }
-    t.print(std::cout);
+  const std::vector<sweep::SweepPoint> points = g.grid.expand();
+  const sweep::SweepReport rep = bench::run_grid(points, opt);
+  for (const sweep::MetricColumn& mc : g.metrics) {
+    std::printf("--- %s ---\n", mc.title);
+    sweep::pivot_by_scheme(g.grid, points, rep.results, g.axis, mc.value,
+                           mc.precision)
+        .print(std::cout);
     std::printf("\n");
   }
+
   std::printf("--- dynamic adaptive unicast routing (turn-model schemes, "
               "16 concurrent, d=16) ---\n");
   {
+    sweep::SweepGrid ag;
+    ag.schemes = {core::Scheme::WfScUa, core::Scheme::WfP2Sg};
+    ag.meshes = {16};
+    ag.sharers = {16};
+    ag.concurrency = {16};
+    ag.rounds = 3;
+    dsm::SystemParams adaptive;
+    adaptive.adaptive_unicast = true;
+    ag.variants = {{"deterministic", dsm::SystemParams{}},
+                   {"adaptive", adaptive}};
+    ag.seed_fn = [](const sweep::SweepGrid&, const sweep::SweepPoint&) {
+      return std::uint64_t{29};
+    };
+    const std::vector<sweep::SweepPoint> apoints = ag.expand();
+    const sweep::SweepReport arep = bench::run_grid(apoints, opt);
     analysis::Table t({"scheme", "deterministic lat", "adaptive lat"});
-    for (core::Scheme s : {core::Scheme::WfScUa, core::Scheme::WfP2Sg}) {
-      analysis::HotspotConfig cfg;
-      cfg.mesh = 16;
-      cfg.scheme = s;
-      cfg.d = 16;
-      cfg.concurrent = 16;
-      cfg.rounds = 3;
-      cfg.seed = 29;
-      const auto det = analysis::measure_hotspot(cfg);
-      cfg.base.adaptive_unicast = true;
-      const auto ada = analysis::measure_hotspot(cfg);
-      t.add_row({bench::S(s), analysis::Table::num(det.inval_latency),
-                 analysis::Table::num(ada.inval_latency)});
+    for (std::size_t ix = 0; ix < ag.schemes.size(); ++ix) {
+      const sweep::PointResult& det =
+          arep.results[ag.flat_index(0, 0, 0, 0, 0, ix)];
+      const sweep::PointResult& ada =
+          arep.results[ag.flat_index(1, 0, 0, 0, 0, ix)];
+      t.add_row({bench::S(ag.schemes[ix]),
+                 analysis::Table::num(det.m.inval_latency),
+                 analysis::Table::num(ada.m.inval_latency)});
     }
     t.print(std::cout);
     std::printf("\n");
   }
+
   std::printf("--- link load around one hot home (16x16, d=32, 6 txns; "
               "mean flits per link, write phase only) ---\n");
   {
@@ -67,7 +63,7 @@ int main(int argc, char** argv) {
                        "home col (Y links)", "elsewhere", "hottest link"});
     const noc::MeshShape mesh(16, 16);
     const NodeId home = mesh.id_of({8, 8});
-    for (core::Scheme s : schemes) {
+    for (core::Scheme s : g.grid.schemes) {
       const auto lp = analysis::measure_link_load(s, 16, home, 32, 6, 3);
       t.add_row({bench::S(s), analysis::Table::num(lp.home_adjacent_mean),
                  analysis::Table::num(lp.home_row_mean),
@@ -84,9 +80,18 @@ int main(int argc, char** argv) {
               "home row (request fan-out) and home column (ack fan-in) far "
               "above the mesh average; MI-MA flattens both.\n");
 
+  if (!opt.points_json.empty()) {
+    if (sweep::write_sweep_json_file(opt.points_json, points, rep)) {
+      std::printf("\nwrote per-point JSON to %s\n", opt.points_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.points_json.c_str());
+      return 1;
+    }
+  }
   if (opt.enabled()) {
     // Instrumented pass: one UI-UA hot-spot run with the registry (and,
     // when requested, the tracer) attached; dumps metrics + heatmap + trace.
+    // Kept single-machine so --trace still produces one coherent timeline.
     std::printf("\n--- observability pass (UI-UA, 16 concurrent, d=16) ---\n");
     obs::MetricsRegistry registry;
     obs::TraceWriter trace;

@@ -1,34 +1,24 @@
 // E4: scalability — invalidation latency vs mesh size at proportional
-// sharing (d = k on a k x k mesh).
-#include "bench_common.h"
+// sharing (d = k on a k x k mesh).  The grid lives in
+// sweep::named_grid("e4") and runs across --jobs worker threads; per-point
+// results are bit-identical to a serial run.
+#include "bench_sweep_common.h"
 
 using namespace mdw;
 
-int main() {
-  bench::banner("E4", "invalidation latency vs mesh size (d = k sharers, "
-                      "uniform pattern, mean of 8 transactions)");
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv, true);
+  bench::reject_trace(opt, argv[0]);
+  const sweep::NamedGrid& g = *sweep::named_grid("e4");
+  bench::banner("E4", g.description);
 
-  std::vector<std::string> headers{"mesh", "d"};
-  for (core::Scheme s : core::kAllSchemes) headers.push_back(bench::S(s));
-  analysis::Table t(headers);
-
-  for (int k : {4, 8, 12, 16}) {
-    std::vector<std::string> row{std::to_string(k) + "x" + std::to_string(k),
-                                 std::to_string(k)};
-    for (core::Scheme s : core::kAllSchemes) {
-      analysis::InvalExperimentConfig cfg;
-      cfg.mesh = k;
-      cfg.scheme = s;
-      cfg.d = k;
-      cfg.repetitions = 8;
-      cfg.seed = 77 + k;
-      const auto m = analysis::measure_invalidations(cfg);
-      row.push_back(analysis::Table::num(m.inval_latency));
-    }
-    t.add_row(std::move(row));
-  }
-  t.print(std::cout);
+  const std::vector<sweep::SweepPoint> points = g.grid.expand();
+  const sweep::SweepReport rep = bench::run_grid(points, opt);
+  sweep::pivot_by_scheme(g.grid, points, rep.results, g.axis,
+                         g.metrics[0].value, g.metrics[0].precision)
+      .print(std::cout);
   std::printf("\nExpected shape: the UI-UA/MI-MA gap widens with system size "
               "(longer unicast fan-out, worse hot-spotting at the home).\n");
+  bench::write_sweep_artifacts(opt, points, rep);
   return 0;
 }

@@ -1,35 +1,27 @@
 // E3: invalidation latency vs number of sharers d — the paper's headline
-// figure.  16x16 mesh, uniform random sharer patterns, every scheme.
-#include "bench_common.h"
+// figure.  16x16 mesh, uniform random sharer patterns, every scheme.  The
+// grid itself lives in sweep::named_grid("e3"); each (d, scheme) point is
+// an independent simulation executed across --jobs worker threads with
+// results bit-identical to a serial run.
+#include "bench_sweep_common.h"
 
 using namespace mdw;
 
-int main() {
-  bench::banner("E3", "invalidation latency vs sharers (16x16 mesh, uniform "
-                      "pattern, mean of 8 transactions)");
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv, true);
+  bench::reject_trace(opt, argv[0]);
+  const sweep::NamedGrid& g = *sweep::named_grid("e3");
+  bench::banner("E3", g.description);
 
-  std::vector<std::string> headers{"d"};
-  for (core::Scheme s : core::kAllSchemes) headers.push_back(bench::S(s));
-  analysis::Table t(headers);
-
-  for (int d : {2, 4, 8, 16, 32, 64}) {
-    std::vector<std::string> row{std::to_string(d)};
-    for (core::Scheme s : core::kAllSchemes) {
-      analysis::InvalExperimentConfig cfg;
-      cfg.mesh = 16;
-      cfg.scheme = s;
-      cfg.d = d;
-      cfg.repetitions = 8;
-      cfg.seed = 1000 + d;
-      const auto m = analysis::measure_invalidations(cfg);
-      row.push_back(analysis::Table::num(m.inval_latency));
-    }
-    t.add_row(std::move(row));
-  }
-  t.print(std::cout);
+  const std::vector<sweep::SweepPoint> points = g.grid.expand();
+  const sweep::SweepReport rep = bench::run_grid(points, opt);
+  sweep::pivot_by_scheme(g.grid, points, rep.results, g.axis,
+                         g.metrics[0].value, g.metrics[0].precision)
+      .print(std::cout);
   std::printf(
       "\nExpected shape: UI-UA grows ~linearly in d (send/receive "
       "serialization at the home); MI-UA flattens the request phase; MI-MA "
       "(CG/HG/SG) also collapses the ack phase, widening the gap with d.\n");
+  bench::write_sweep_artifacts(opt, points, rep);
   return 0;
 }

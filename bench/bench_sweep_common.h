@@ -1,0 +1,65 @@
+// Glue between BenchOptions and the sweep runner for the grid benches
+// (E3, E4, E5, E8): run a grid with --jobs workers and write the
+// --points-json / --metrics-json artifacts.
+#pragma once
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "sweep/named_grids.h"
+
+namespace mdw::bench {
+
+/// Chrome traces are per-machine and sweeps run one machine per point, so
+/// the grid benches reject --trace outright rather than dropping it.
+inline void reject_trace(const BenchOptions& opt, const char* argv0) {
+  if (!opt.trace.empty()) {
+    std::fprintf(stderr,
+                 "%s: --trace is not supported by sweep-migrated benches "
+                 "(one machine per point); use --points-json or "
+                 "--metrics-json instead\n",
+                 argv0);
+    std::exit(2);
+  }
+}
+
+/// Run the points across the pool; exits with the failure message when a
+/// point throws.
+inline sweep::SweepReport run_grid(const std::vector<sweep::SweepPoint>& points,
+                                   const BenchOptions& opt) {
+  sweep::RunnerOptions ro;
+  ro.jobs = opt.jobs;
+  ro.progress = opt.progress && isatty(fileno(stderr)) != 0;
+  sweep::SweepReport rep = sweep::ThreadPoolRunner(ro).run(points);
+  if (!rep.ok) {
+    std::fprintf(stderr, "sweep failed: %s\n", rep.error.c_str());
+    std::exit(1);
+  }
+  return rep;
+}
+
+/// --points-json: per-point results; --metrics-json: the merged registry
+/// (plus the merged heatmap when the grid had a single mesh size).
+inline void write_sweep_artifacts(const BenchOptions& opt,
+                                  const std::vector<sweep::SweepPoint>& points,
+                                  const sweep::SweepReport& rep) {
+  if (!opt.points_json.empty()) {
+    if (sweep::write_sweep_json_file(opt.points_json, points, rep)) {
+      std::printf("wrote per-point JSON to %s\n", opt.points_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.points_json.c_str());
+      std::exit(1);
+    }
+  }
+  if (!opt.metrics_json.empty()) {
+    if (obs::write_metrics_json_file(opt.metrics_json, rep.metrics,
+                                     rep.sole_heatmap())) {
+      std::printf("wrote metrics JSON to %s\n", opt.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.metrics_json.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+} // namespace mdw::bench

@@ -1,35 +1,24 @@
 // E5: communication cost — network messages and link flit-hops per
-// invalidation transaction vs d.
-#include "bench_common.h"
+// invalidation transaction vs d.  One sweep of the e5 grid feeds both
+// tables (the serial bench re-ran every point per table; the measurements
+// are identical either way).
+#include "bench_sweep_common.h"
 
 using namespace mdw;
 
-int main() {
-  bench::banner("E5", "messages and flit-hop traffic per transaction "
-                      "(16x16 mesh, uniform pattern)");
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv, true);
+  bench::reject_trace(opt, argv[0]);
+  const sweep::NamedGrid& g = *sweep::named_grid("e5");
+  bench::banner("E5", g.description);
 
-  for (const char* metric : {"messages", "flit-hops"}) {
-    std::printf("--- %s per transaction ---\n", metric);
-    std::vector<std::string> headers{"d"};
-    for (core::Scheme s : core::kAllSchemes) headers.push_back(bench::S(s));
-    analysis::Table t(headers);
-    for (int d : {2, 4, 8, 16, 32, 64}) {
-      std::vector<std::string> row{std::to_string(d)};
-      for (core::Scheme s : core::kAllSchemes) {
-        analysis::InvalExperimentConfig cfg;
-        cfg.mesh = 16;
-        cfg.scheme = s;
-        cfg.d = d;
-        cfg.repetitions = 8;
-        cfg.seed = 500 + d;
-        const auto m = analysis::measure_invalidations(cfg);
-        row.push_back(analysis::Table::num(
-            metric == std::string("messages") ? m.messages : m.traffic_flits,
-            1));
-      }
-      t.add_row(std::move(row));
-    }
-    t.print(std::cout);
+  const std::vector<sweep::SweepPoint> points = g.grid.expand();
+  const sweep::SweepReport rep = bench::run_grid(points, opt);
+  for (const sweep::MetricColumn& mc : g.metrics) {
+    std::printf("--- %s ---\n", mc.title);
+    sweep::pivot_by_scheme(g.grid, points, rep.results, g.axis, mc.value,
+                           mc.precision)
+        .print(std::cout);
     std::printf("\n");
   }
   std::printf("Expected shape: UI-UA needs 2d messages; MI-UA needs "
@@ -37,5 +26,6 @@ int main() {
               "serpentines at 2-4 total. Flit-hop savings are smaller than "
               "message savings (multidestination paths are longer), exactly "
               "as the paper discusses.\n");
+  bench::write_sweep_artifacts(opt, points, rep);
   return 0;
 }

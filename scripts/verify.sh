@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full verification: clean build + tier-1 tests, a Release build with a
 # bench_simspeed smoke (catches perf-path code that only breaks under -O2),
-# then rebuild the observability tests under ASan/UBSan and run them
-# instrumented.
+# a rebuild of the observability tests under ASan/UBSan, and a TSan build
+# of the sweep tests (catches data races in the thread-pool grid runner).
 #
 #   $ scripts/verify.sh [build-dir]
 set -euo pipefail
@@ -11,6 +11,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 REL_BUILD="${BUILD}-release"
 SAN_BUILD="${BUILD}-asan"
+TSAN_BUILD="${BUILD}-tsan"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "=== tier-1: configure + build + ctest (${BUILD}) ==="
@@ -31,6 +32,12 @@ echo "=== sanitizers: ASan/UBSan build, obs tests (${SAN_BUILD}) ==="
 cmake -B "$SAN_BUILD" -S . -DMDW_SANITIZE=address,undefined >/dev/null
 cmake --build "$SAN_BUILD" -j "$JOBS" --target test_obs_metrics
 ctest --test-dir "$SAN_BUILD" -R obs --output-on-failure
+
+echo
+echo "=== sanitizers: TSan build, sweep thread-pool tests (${TSAN_BUILD}) ==="
+cmake -B "$TSAN_BUILD" -S . -DMDW_SANITIZE=thread >/dev/null
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep
+ctest --test-dir "$TSAN_BUILD" -R sweep --output-on-failure
 
 echo
 echo "verify: OK"

@@ -111,6 +111,8 @@ InvalMeasurement measure_invalidations(const InvalExperimentConfig& cfg) {
   out.request_worms = worms_sum / r;
   out.ack_messages = acks_sum / r;
   out.deferred_gathers = defer_sum / r;
+  if (cfg.heatmap) (void)cfg.heatmap->merge_from(m.network().heatmap());
+  if (cfg.metrics) m.snapshot_metrics();
   return out;
 }
 

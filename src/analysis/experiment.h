@@ -22,6 +22,7 @@ struct InvalExperimentConfig {
   dsm::SystemParams base{};          // noc / latency knobs (mesh/scheme set here)
   obs::MetricsRegistry* metrics = nullptr;  // collect into this registry
   obs::TraceWriter* trace = nullptr;        // emit Chrome-trace events
+  obs::LinkHeatmap* heatmap = nullptr;      // accumulate whole-run link load
 };
 
 struct InvalMeasurement {

@@ -1,7 +1,9 @@
 #include "analysis/table.h"
 
 #include <cassert>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -43,6 +45,36 @@ void Table::print(std::ostream& os) const {
   for (auto w : width) total += w;
   os << std::string(total, '-') << '\n';
   for (const auto& r : rows_) line(r);
+}
+
+void Table::print_json(std::ostream& os) const {
+  auto cell = [&os](const std::string& s) {
+    // Bare numeric when the whole cell parses as a finite double.
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (!s.empty() && end == s.c_str() + s.size() && std::isfinite(v)) {
+      os << s;
+      return;
+    }
+    os << '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << '"';
+  };
+  os << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r ? ",\n " : "\n ") << "{";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      cell(headers_[c]);
+      os << ": ";
+      cell(rows_[r][c]);
+    }
+    os << "}";
+  }
+  os << "\n]\n";
 }
 
 void Table::print_csv(std::ostream& os) const {

@@ -22,6 +22,9 @@ public:
 
   void print(std::ostream& os) const;
   void print_csv(std::ostream& os) const;
+  /// JSON array of row objects keyed by header; cells that parse fully as
+  /// finite numbers are emitted bare, everything else as a string.
+  void print_json(std::ostream& os) const;
 
 private:
   std::vector<std::string> headers_;

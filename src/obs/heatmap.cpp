@@ -25,6 +25,19 @@ std::uint64_t LinkHeatmap::total_stalls() const {
   return sum;
 }
 
+bool LinkHeatmap::merge_from(const LinkHeatmap& o) {
+  if (w_ == 0 && h_ == 0) {
+    *this = o;
+    return true;
+  }
+  if (w_ != o.w_ || h_ != o.h_) return false;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    hops_[i] += o.hops_[i];
+    stalls_[i] += o.stalls_[i];
+  }
+  return true;
+}
+
 bool LinkHeatmap::has_link(int node, int dir) const {
   const int x = node % w_ + kDx[dir];
   const int y = node / w_ + kDy[dir];

@@ -40,6 +40,11 @@ public:
   [[nodiscard]] std::uint64_t total_hops() const;
   [[nodiscard]] std::uint64_t total_stalls() const;
 
+  /// Element-wise accumulate another heatmap.  A default-constructed (0x0)
+  /// target adopts the other's dimensions; otherwise the dimensions must
+  /// match (returns false and leaves *this untouched when they do not).
+  bool merge_from(const LinkHeatmap& o);
+
   /// Whether the outgoing link (node, dir) exists (not off the mesh edge).
   [[nodiscard]] bool has_link(int node, int dir) const;
 

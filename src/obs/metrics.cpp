@@ -92,6 +92,24 @@ const HistogramMetric* MetricsRegistry::find_histogram(
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+bool MetricsRegistry::merge_from(const MetricsRegistry& o) {
+  bool ok = true;
+  for (const auto& [name, c] : o.counters_) counter(name).inc(c->value());
+  for (const auto& [name, g] : o.gauges_) {
+    Gauge& mine = gauge(name);
+    mine.set(mine.value() + g->value());
+  }
+  for (const auto& [name, h] : o.histograms_) {
+    auto& slot = histograms_[name];
+    if (!slot) {
+      slot = std::make_unique<HistogramMetric>(*h);
+    } else {
+      ok &= slot->merge_from(*h);
+    }
+  }
+  return ok;
+}
+
 void MetricsRegistry::write_json(std::ostream& os) const {
   os << "{\n";
   write_section(os, "counters", counters_,

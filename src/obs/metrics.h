@@ -62,6 +62,11 @@ public:
 
   [[nodiscard]] const sim::Histogram& histogram() const { return h_; }
 
+  /// Fold another histogram's samples in; layouts must match (returns false
+  /// and leaves *this untouched otherwise).  Scheduling-independent: the
+  /// merged moments depend only on the operands (see sim::Sampler).
+  bool merge_from(const HistogramMetric& o) { return h_.merge_from(o.h_); }
+
 private:
   sim::Histogram h_;
 };
@@ -82,6 +87,14 @@ public:
   [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
   [[nodiscard]] const HistogramMetric* find_histogram(
       const std::string& name) const;
+
+  /// Fold another registry in: counters and gauges add, histograms merge
+  /// bucket-wise (absent names are copied).  Merging per-worker registries
+  /// in a fixed (e.g. point-index) order therefore produces contents
+  /// independent of how the work was scheduled.  Returns false when a
+  /// histogram shared by both registries has a mismatched bucket layout
+  /// (that histogram is skipped; everything else still merges).
+  bool merge_from(const MetricsRegistry& o);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, mean,
   /// min, max, stddev, p50, p90, p99, bucket_lo, bucket_width, buckets}}}.

@@ -35,6 +35,27 @@ public:
 
   void reset() { *this = Sampler{}; }
 
+  /// Fold another sampler in (Chan et al. parallel combine).  The result
+  /// depends only on the two operands, not on the order samples originally
+  /// arrived in, so merging per-worker samplers in a fixed order yields
+  /// results independent of how work was scheduled.
+  void merge_from(const Sampler& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    n_ += o.n_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
 private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
@@ -62,6 +83,19 @@ public:
 
   /// Value below which `q` (0..1) of the samples fall, bucket-resolution.
   [[nodiscard]] double quantile(double q) const;
+
+  /// Element-wise bucket merge + sampler combine.  Both histograms must
+  /// share a bucket layout; returns false (and leaves *this untouched)
+  /// when they do not.
+  bool merge_from(const Histogram& o) {
+    if (lo_ != o.lo_ || width_ != o.width_ ||
+        counts_.size() != o.counts_.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+    sampler_.merge_from(o.sampler_);
+    return true;
+  }
 
 private:
   double lo_, width_;

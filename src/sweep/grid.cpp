@@ -1,0 +1,67 @@
+#include "sweep/grid.h"
+
+namespace mdw::sweep {
+
+std::vector<SweepPoint> SweepGrid::expand() const {
+  std::vector<SweepPoint> out;
+  out.reserve(num_points());
+  for (std::size_t iv = 0; iv < variants.size(); ++iv) {
+    for (std::size_t ip = 0; ip < patterns.size(); ++ip) {
+      for (std::size_t ic = 0; ic < concurrency.size(); ++ic) {
+        for (std::size_t im = 0; im < meshes.size(); ++im) {
+          for (std::size_t is = 0; is < sharers.size(); ++is) {
+            for (std::size_t ix = 0; ix < schemes.size(); ++ix) {
+              SweepPoint pt;
+              pt.index = out.size();
+              pt.scheme = schemes[ix];
+              pt.mesh = meshes[im];
+              pt.d = sharers[is] <= 0 ? meshes[im] : sharers[is];
+              pt.pattern = patterns[ip];
+              pt.concurrent = concurrency[ic];
+              pt.rounds = rounds;
+              pt.repetitions = repetitions;
+              pt.params = variants[iv].params;
+              pt.params.mesh_w = pt.params.mesh_h = pt.mesh;
+              pt.params.scheme = pt.scheme;
+              pt.i_variant = iv;
+              pt.i_pattern = ip;
+              pt.i_concurrency = ic;
+              pt.i_mesh = im;
+              pt.i_sharers = is;
+              pt.i_scheme = ix;
+              pt.seed = seed_fn ? seed_fn(*this, pt)
+                                : derive_point_seed(base_seed, pt.index);
+              out.push_back(pt);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool scheme_from_name(const std::string& name, core::Scheme& out) {
+  for (core::Scheme s : core::kAllSchemes) {
+    if (name == core::scheme_name(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool pattern_from_name(const std::string& name, workload::SharerPattern& out) {
+  for (auto p : {workload::SharerPattern::Uniform,
+                 workload::SharerPattern::Cluster,
+                 workload::SharerPattern::SameColumn,
+                 workload::SharerPattern::SameRow}) {
+    if (name == workload::pattern_name(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace mdw::sweep

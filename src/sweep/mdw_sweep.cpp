@@ -1,0 +1,301 @@
+// mdw_sweep — run a named experiment grid (e3, e4, e5, e8) or an inline
+// axis spec across a thread pool, printing the classic bench tables and
+// (optionally) machine-readable per-point JSON.
+//
+//   mdw_sweep e4 --jobs=8
+//   mdw_sweep e8 --points-json=e8.json --metrics-json=e8-metrics.json
+//   mdw_sweep --schemes=UI-UA,EC-CM-CG --mesh=8,16 --d=4,8 --reps=4 --seed=9
+//
+// Per-point results are bit-identical for any --jobs value: each point owns
+// its RNG (seeded from the grid, never the clock), machine, registry, and
+// heatmap, and merges happen in point-index order (DESIGN.md section 10).
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sweep/named_grids.h"
+
+using namespace mdw;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <grid> [options]\n"
+      "       %s [axis options] [options]\n"
+      "\n"
+      "named grids: %s\n"
+      "\n"
+      "axis options (inline grids):\n"
+      "  --schemes=A,B,...    scheme names (default: all seven)\n"
+      "  --mesh=K,...         mesh sizes k (k x k meshes; default 16)\n"
+      "  --d=N,...            sharers per transaction; 0 means d = k\n"
+      "  --pattern=P,...      uniform | cluster | same-column | same-row\n"
+      "  --concurrent=N,...   concurrent transactions; 0 = isolated (default)\n"
+      "  --rounds=N           hot-spot rounds (default 3)\n"
+      "  --reps=N             repetitions per point (default 8)\n"
+      "  --seed=S             base seed for per-point SplitMix64 derivation\n"
+      "\n"
+      "options:\n"
+      "  --jobs=N             worker threads (default: hardware concurrency)\n"
+      "  --format=F           table output: plain (default) | csv | json\n"
+      "  --points-json=PATH   write per-point results + merged metrics JSON\n"
+      "  --metrics-json=PATH  write merged registry (+ heatmap) JSON\n"
+      "  --heatmap            print the merged link heatmap(s) as ASCII\n"
+      "  --no-progress        suppress the stderr progress line\n",
+      argv0, argv0, sweep::named_grid_list().c_str());
+}
+
+[[noreturn]] void die(const char* argv0, const std::string& why) {
+  std::fprintf(stderr, "%s: %s\n\n", argv0, why.c_str());
+  usage(argv0);
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    out.push_back(s.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<int> parse_int_list(const char* argv0, const std::string& flag,
+                                const std::string& val) {
+  std::vector<int> out;
+  for (const std::string& tok : split_csv(val)) {
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (tok.empty() || end != tok.c_str() + tok.size()) {
+      die(argv0, "bad integer '" + tok + "' in " + flag);
+    }
+    out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+struct CliOptions {
+  sweep::NamedGrid job;  // the grid to run (named or assembled inline)
+  int jobs = 0;
+  std::string format = "plain";
+  std::string points_json, metrics_json;
+  bool heatmap = false;
+  bool progress = true;
+};
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opt;
+  sweep::SweepGrid& grid = opt.job.grid;
+  opt.job.name = "inline";
+  opt.job.description = "inline axis sweep";
+  bool named = false, has_axes = false;
+
+  auto flag_value = [](const std::string& a, const char* key,
+                       std::string& out) {
+    const std::string k = std::string(key) + "=";
+    if (a.rfind(k, 0) != 0) return false;
+    out = a.substr(k.size());
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    std::string v;
+    if (a.rfind("--", 0) != 0) {
+      const sweep::NamedGrid* g = sweep::named_grid(a);
+      if (g == nullptr) {
+        die(argv[0], "unknown grid '" + a + "' (have: " +
+                         sweep::named_grid_list() + ")");
+      }
+      if (named || has_axes) {
+        die(argv[0], "a named grid cannot be combined with another grid or "
+                     "inline axis options");
+      }
+      opt.job = *g;
+      named = true;
+    } else if (flag_value(a, "--schemes", v)) {
+      has_axes = true;
+      grid.schemes.clear();
+      for (const std::string& name : split_csv(v)) {
+        core::Scheme s;
+        if (!sweep::scheme_from_name(name, s)) {
+          die(argv[0], "unknown scheme '" + name + "'");
+        }
+        grid.schemes.push_back(s);
+      }
+    } else if (flag_value(a, "--mesh", v)) {
+      has_axes = true;
+      grid.meshes = parse_int_list(argv[0], "--mesh", v);
+    } else if (flag_value(a, "--d", v)) {
+      has_axes = true;
+      grid.sharers = parse_int_list(argv[0], "--d", v);
+    } else if (flag_value(a, "--pattern", v)) {
+      has_axes = true;
+      grid.patterns.clear();
+      for (const std::string& name : split_csv(v)) {
+        workload::SharerPattern p;
+        if (!sweep::pattern_from_name(name, p)) {
+          die(argv[0], "unknown pattern '" + name + "'");
+        }
+        grid.patterns.push_back(p);
+      }
+    } else if (flag_value(a, "--concurrent", v)) {
+      has_axes = true;
+      grid.concurrency = parse_int_list(argv[0], "--concurrent", v);
+    } else if (flag_value(a, "--rounds", v)) {
+      has_axes = true;
+      grid.rounds = std::atoi(v.c_str());
+    } else if (flag_value(a, "--reps", v)) {
+      has_axes = true;
+      grid.repetitions = std::atoi(v.c_str());
+    } else if (flag_value(a, "--seed", v)) {
+      has_axes = true;
+      grid.base_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag_value(a, "--jobs", v)) {
+      opt.jobs = std::atoi(v.c_str());
+    } else if (flag_value(a, "--format", v)) {
+      if (v != "plain" && v != "csv" && v != "json") {
+        die(argv[0], "bad --format '" + v + "' (plain | csv | json)");
+      }
+      opt.format = v;
+    } else if (flag_value(a, "--points-json", v)) {
+      opt.points_json = v;
+    } else if (flag_value(a, "--metrics-json", v)) {
+      opt.metrics_json = v;
+    } else if (a == "--heatmap") {
+      opt.heatmap = true;
+    } else if (a == "--no-progress") {
+      opt.progress = false;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      die(argv[0], "unknown option '" + a + "'");
+    }
+  }
+  if (named && has_axes) {
+    die(argv[0], "a named grid cannot be combined with inline axis options");
+  }
+
+  if (!named) {
+    // Row axis: the axis that actually varies (concurrency > mesh > d).
+    if (grid.concurrency.size() > 1) {
+      opt.job.axis = sweep::RowAxis::Concurrency;
+    } else if (grid.meshes.size() > 1) {
+      opt.job.axis = sweep::RowAxis::Mesh;
+    } else {
+      opt.job.axis = sweep::RowAxis::Sharers;
+    }
+    const bool hotspot = grid.concurrency.size() > 1 || grid.concurrency[0] > 0;
+    if (hotspot) {
+      opt.job.metrics = {
+          {"mean inval latency (cycles)",
+           +[](const sweep::PointResult& r) { return r.m.inval_latency; }, 1},
+          {"round makespan (cycles)",
+           +[](const sweep::PointResult& r) { return r.makespan; }, 1}};
+    } else {
+      opt.job.metrics = {
+          {"invalidation latency (cycles)",
+           +[](const sweep::PointResult& r) { return r.m.inval_latency; }, 1},
+          {"messages per transaction",
+           +[](const sweep::PointResult& r) { return r.m.messages; }, 1},
+          {"flit-hops per transaction",
+           +[](const sweep::PointResult& r) { return r.m.traffic_flits; }, 1}};
+    }
+  }
+  return opt;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse_cli(argc, argv);
+  const sweep::SweepGrid& grid = opt.job.grid;
+  const std::vector<sweep::SweepPoint> points = grid.expand();
+
+  sweep::RunnerOptions ro;
+  ro.jobs = opt.jobs;
+  ro.progress = opt.progress && isatty(fileno(stderr));
+  const sweep::ThreadPoolRunner runner(ro);
+
+  std::printf("sweep %s — %s\n%zu points, %d worker thread(s), "
+              "%d repetitions per point\n\n",
+              opt.job.name, opt.job.description, points.size(),
+              runner.effective_jobs(), grid.repetitions);
+
+  const sweep::SweepReport report = runner.run(points);
+  if (!report.ok) {
+    std::fprintf(stderr, "sweep failed: %s\n", report.error.c_str());
+    return 1;
+  }
+
+  // A pivot table needs singleton non-row axes; fall back to JSON rows
+  // for grids (multi-pattern, multi-variant, two varying axes) that do not
+  // pivot cleanly.
+  const bool pivotable =
+      grid.variants.size() == 1 && grid.patterns.size() == 1 &&
+      (opt.job.axis == sweep::RowAxis::Concurrency ||
+       grid.concurrency.size() == 1) &&
+      (opt.job.axis == sweep::RowAxis::Mesh || grid.meshes.size() == 1) &&
+      (opt.job.axis == sweep::RowAxis::Sharers || grid.sharers.size() == 1);
+  if (pivotable) {
+    for (const sweep::MetricColumn& mc : opt.job.metrics) {
+      std::printf("--- %s ---\n", mc.title);
+      const analysis::Table t =
+          sweep::pivot_by_scheme(grid, points, report.results, opt.job.axis,
+                                 mc.value, mc.precision);
+      if (opt.format == "csv") {
+        t.print_csv(std::cout);
+      } else if (opt.format == "json") {
+        t.print_json(std::cout);
+      } else {
+        t.print(std::cout);
+      }
+      std::printf("\n");
+    }
+  } else {
+    std::printf("--- per-point results (grid does not pivot to one table) "
+                "---\n");
+    sweep::write_points_json(std::cout, points, report.results);
+    std::printf("\n\n");
+  }
+
+  if (opt.heatmap) {
+    for (const auto& [dims, hm] : report.heatmaps) {
+      std::printf("--- link heatmap %dx%d ---\n", dims.first, dims.second);
+      hm.render_ascii(std::cout);
+    }
+  }
+
+  std::printf("wall time %.2fs (%zu points, %d thread(s))\n",
+              report.wall_seconds, points.size(), runner.effective_jobs());
+
+  if (!opt.points_json.empty()) {
+    if (sweep::write_sweep_json_file(opt.points_json, points, report)) {
+      std::printf("wrote per-point JSON to %s\n", opt.points_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.points_json.c_str());
+      return 1;
+    }
+  }
+  if (!opt.metrics_json.empty()) {
+    if (obs::write_metrics_json_file(opt.metrics_json, report.metrics,
+                                     report.sole_heatmap())) {
+      std::printf("wrote metrics JSON to %s\n", opt.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.metrics_json.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "sweep/named_grids.h"
+
+#include <vector>
+
+namespace mdw::sweep {
+
+namespace {
+
+double latency(const PointResult& r) { return r.m.inval_latency; }
+double messages(const PointResult& r) { return r.m.messages; }
+double traffic(const PointResult& r) { return r.m.traffic_flits; }
+double makespan(const PointResult& r) { return r.makespan; }
+
+std::vector<NamedGrid> build_grids() {
+  std::vector<NamedGrid> out;
+
+  {
+    NamedGrid g;
+    g.name = "e3";
+    g.description = "invalidation latency vs sharers (16x16 mesh, uniform "
+                    "pattern, mean of 8 transactions)";
+    g.grid.meshes = {16};
+    g.grid.sharers = {2, 4, 8, 16, 32, 64};
+    g.grid.repetitions = 8;
+    g.grid.seed_fn = [](const SweepGrid&, const SweepPoint& pt) {
+      return 1000 + static_cast<std::uint64_t>(pt.d);
+    };
+    g.axis = RowAxis::Sharers;
+    g.metrics = {{"invalidation latency (cycles)", latency, 1}};
+    out.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "e4";
+    g.description = "invalidation latency vs mesh size (d = k sharers, "
+                    "uniform pattern, mean of 8 transactions)";
+    g.grid.meshes = {4, 8, 12, 16};
+    g.grid.sharers = {0};  // proportional: d = k
+    g.grid.repetitions = 8;
+    g.grid.seed_fn = [](const SweepGrid&, const SweepPoint& pt) {
+      return 77 + static_cast<std::uint64_t>(pt.mesh);
+    };
+    g.axis = RowAxis::Mesh;
+    g.metrics = {{"invalidation latency (cycles)", latency, 1}};
+    out.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "e5";
+    g.description = "messages and flit-hop traffic per transaction "
+                    "(16x16 mesh, uniform pattern)";
+    g.grid.meshes = {16};
+    g.grid.sharers = {2, 4, 8, 16, 32, 64};
+    g.grid.repetitions = 8;
+    g.grid.seed_fn = [](const SweepGrid&, const SweepPoint& pt) {
+      return 500 + static_cast<std::uint64_t>(pt.d);
+    };
+    g.axis = RowAxis::Sharers;
+    g.metrics = {{"messages per transaction", messages, 1},
+                 {"flit-hops per transaction", traffic, 1}};
+    out.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "e8";
+    g.description = "concurrent invalidation transactions (16x16 mesh, "
+                    "d=16 per transaction, 3 rounds)";
+    g.grid.schemes = {core::Scheme::UiUa, core::Scheme::EcCmUa,
+                      core::Scheme::EcCmCg, core::Scheme::EcCmHg,
+                      core::Scheme::WfScSg};
+    g.grid.meshes = {16};
+    g.grid.sharers = {16};
+    g.grid.concurrency = {1, 2, 4, 8, 16};
+    g.grid.rounds = 3;
+    g.grid.seed_fn = [](const SweepGrid&, const SweepPoint& pt) {
+      return 11 + static_cast<std::uint64_t>(pt.concurrent);
+    };
+    g.axis = RowAxis::Concurrency;
+    g.metrics = {{"mean inval latency (cycles)", latency, 1},
+                 {"round makespan (cycles)", makespan, 1}};
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+const std::vector<NamedGrid>& grids() {
+  static const std::vector<NamedGrid> g = build_grids();
+  return g;
+}
+
+} // namespace
+
+const NamedGrid* named_grid(std::string_view name) {
+  for (const NamedGrid& g : grids()) {
+    if (name == g.name) return &g;
+  }
+  return nullptr;
+}
+
+std::string named_grid_list() {
+  std::string out;
+  for (const NamedGrid& g : grids()) {
+    if (!out.empty()) out += ", ";
+    out += g.name;
+  }
+  return out;
+}
+
+} // namespace mdw::sweep

@@ -1,0 +1,37 @@
+// The paper's evaluation grids by name (e3, e4, e5, e8), shared by the
+// mdw_sweep CLI and the migrated bench binaries.  Each named grid pins the
+// exact axes AND the pre-migration per-point seed formula of its bench, so
+// the tables it produces are bit-identical to the historical serial output
+// (EXPERIMENTS.md) for any worker count.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sweep/report.h"
+
+namespace mdw::sweep {
+
+/// One pivot table to print for a grid: a metric over the point results.
+struct MetricColumn {
+  const char* title;
+  double (*value)(const PointResult&);
+  int precision = 1;
+};
+
+struct NamedGrid {
+  const char* name;
+  const char* description;  // bench banner text
+  SweepGrid grid;
+  RowAxis axis;
+  std::vector<MetricColumn> metrics;
+};
+
+/// Look up a named grid; nullptr when unknown.
+[[nodiscard]] const NamedGrid* named_grid(std::string_view name);
+
+/// "e3, e4, e5, e8" (for usage messages).
+[[nodiscard]] std::string named_grid_list();
+
+} // namespace mdw::sweep

@@ -1,0 +1,116 @@
+#include "sweep/report.h"
+
+#include <cassert>
+#include <fstream>
+
+namespace mdw::sweep {
+
+analysis::Table pivot_by_scheme(
+    const SweepGrid& grid, const std::vector<SweepPoint>& points,
+    const std::vector<PointResult>& results, RowAxis axis,
+    const std::function<double(const PointResult&)>& metric, int precision) {
+  assert(points.size() == results.size());
+  assert(grid.variants.size() == 1 && grid.patterns.size() == 1);
+  assert(axis == RowAxis::Concurrency || grid.concurrency.size() == 1);
+  assert(axis == RowAxis::Mesh || grid.meshes.size() == 1);
+  assert(axis == RowAxis::Sharers || grid.sharers.size() == 1);
+
+  std::vector<std::string> headers;
+  switch (axis) {
+    case RowAxis::Sharers: headers = {"d"}; break;
+    case RowAxis::Mesh: headers = {"mesh", "d"}; break;
+    case RowAxis::Concurrency: headers = {"concurrent"}; break;
+  }
+  for (core::Scheme s : grid.schemes) {
+    headers.emplace_back(core::scheme_name(s));
+  }
+  analysis::Table t(std::move(headers));
+
+  const std::size_t rows = axis == RowAxis::Sharers ? grid.sharers.size()
+                           : axis == RowAxis::Mesh  ? grid.meshes.size()
+                                                    : grid.concurrency.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t ic = axis == RowAxis::Concurrency ? r : 0;
+    const std::size_t im = axis == RowAxis::Mesh ? r : 0;
+    const std::size_t is = axis == RowAxis::Sharers ? r : 0;
+    const SweepPoint& first = points[grid.flat_index(0, 0, ic, im, is, 0)];
+    std::vector<std::string> row;
+    switch (axis) {
+      case RowAxis::Sharers: row = {std::to_string(first.d)}; break;
+      case RowAxis::Mesh:
+        row = {std::to_string(first.mesh) + "x" + std::to_string(first.mesh),
+               std::to_string(first.d)};
+        break;
+      case RowAxis::Concurrency:
+        row = {std::to_string(first.concurrent)};
+        break;
+    }
+    for (std::size_t ix = 0; ix < grid.schemes.size(); ++ix) {
+      const std::size_t i = grid.flat_index(0, 0, ic, im, is, ix);
+      row.push_back(results[i].ran
+                        ? analysis::Table::num(metric(results[i]), precision)
+                        : "-");
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+void write_points_json(std::ostream& os, const std::vector<SweepPoint>& points,
+                       const std::vector<PointResult>& results) {
+  assert(points.size() == results.size());
+  os << "[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& pt = points[i];
+    const PointResult& r = results[i];
+    os << (i ? ",\n " : "\n ");
+    os << "{\"index\": " << pt.index << ", \"scheme\": \""
+       << core::scheme_name(pt.scheme) << "\", \"mesh\": " << pt.mesh
+       << ", \"d\": " << pt.d << ", \"pattern\": \""
+       << workload::pattern_name(pt.pattern)
+       << "\", \"concurrent\": " << pt.concurrent
+       << ", \"repetitions\": " << pt.repetitions << ", \"seed\": " << pt.seed
+       << ", \"ran\": " << (r.ran ? "true" : "false");
+    if (r.ran) {
+      os << ", \"completed\": " << (r.completed ? "true" : "false")
+         << ", \"inval_latency\": " << r.m.inval_latency
+         << ", \"inval_latency_p50\": " << r.m.inval_latency_p50
+         << ", \"inval_latency_p90\": " << r.m.inval_latency_p90
+         << ", \"inval_latency_p99\": " << r.m.inval_latency_p99
+         << ", \"write_latency\": " << r.m.write_latency
+         << ", \"messages\": " << r.m.messages
+         << ", \"traffic_flits\": " << r.m.traffic_flits
+         << ", \"occupancy\": " << r.m.occupancy
+         << ", \"request_worms\": " << r.m.request_worms
+         << ", \"ack_messages\": " << r.m.ack_messages
+         << ", \"deferred_gathers\": " << r.m.deferred_gathers
+         << ", \"makespan\": " << r.makespan
+         << ", \"bank_blocked_cycles\": " << r.bank_blocked_cycles;
+    }
+    os << "}";
+  }
+  os << "\n]";
+}
+
+bool write_sweep_json_file(const std::string& path,
+                           const std::vector<SweepPoint>& points,
+                           const SweepReport& report) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n\"points\": ";
+  write_points_json(os, points, report.results);
+  os << ",\n\"metrics\": ";
+  report.metrics.write_json(os);
+  os << ",\n\"links\": {";
+  bool first = true;
+  for (const auto& [dims, hm] : report.heatmaps) {
+    os << (first ? "\n" : ",\n") << "  \"" << dims.first << "x" << dims.second
+       << "\": ";
+    hm.write_json(os);
+    first = false;
+  }
+  os << (first ? "" : "\n") << "}\n}\n";
+  return static_cast<bool>(os);
+}
+
+} // namespace mdw::sweep

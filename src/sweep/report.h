@@ -1,0 +1,41 @@
+// Turning a sweep's point results into the bench tables and machine-
+// readable JSON.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.h"
+#include "sweep/grid.h"
+#include "sweep/runner.h"
+
+namespace mdw::sweep {
+
+/// Which grid axis supplies the table rows; schemes are always the columns.
+/// Mesh rows carry the paper's extra "d" column ("16x16", "16", ...).
+enum class RowAxis { Sharers, Mesh, Concurrency };
+
+/// Pivot a report into the classic bench table: one row per axis value, one
+/// column per scheme, cells formatted with analysis::Table::num.  Every
+/// non-row axis other than schemes must be singleton (asserted).
+[[nodiscard]] analysis::Table pivot_by_scheme(
+    const SweepGrid& grid, const std::vector<SweepPoint>& points,
+    const std::vector<PointResult>& results, RowAxis axis,
+    const std::function<double(const PointResult&)>& metric,
+    int precision = 1);
+
+/// Per-point JSON array: coordinates + every measurement field, one object
+/// per executed point (skipped points are emitted with "ran": false only).
+void write_points_json(std::ostream& os, const std::vector<SweepPoint>& points,
+                       const std::vector<PointResult>& results);
+
+/// One self-contained dump: {"points": [...], "metrics": {...},
+/// "links": {"WxH": [...], ...}}.  Returns false when the file cannot be
+/// opened or written.
+bool write_sweep_json_file(const std::string& path,
+                           const std::vector<SweepPoint>& points,
+                           const SweepReport& report);
+
+} // namespace mdw::sweep

@@ -1,0 +1,91 @@
+// Parallel sweep execution: a std::thread pool that runs independent
+// SweepPoints and folds per-point observability into one report.
+//
+// Determinism contract (DESIGN.md section 10): a point's simulation touches
+// only state created for that point — its own dsm::Machine, sim::Rng (seeded
+// from the point, never the clock), MetricsRegistry, and LinkHeatmap — so
+// per-point results are bit-identical for any worker count.  The merged
+// registry and heatmaps are folded in point-index order at join, after all
+// workers exit, so they too are scheduling-independent.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/experiment.h"
+#include "obs/heatmap.h"
+#include "obs/metrics.h"
+#include "sweep/grid.h"
+
+namespace mdw::sweep {
+
+/// Outcome of one point.  Single-transaction points (concurrent == 0) fill
+/// `m` from analysis::measure_invalidations; hot-spot points map the
+/// HotspotMeasurement onto the shared fields and the hotspot-only extras.
+struct PointResult {
+  bool ran = false;        // false: skipped (cancelled before it started)
+  bool completed = true;   // false: a hot-spot round deadlocked in budget
+  analysis::InvalMeasurement m{};
+  // Hot-spot extras (zero in single-transaction mode).
+  double makespan = 0;
+  double bank_blocked_cycles = 0;
+};
+
+/// Everything a sweep produces: index-aligned per-point results plus the
+/// observability merged across points (registry counters/gauges add,
+/// histograms merge bucket-wise, heatmaps merge per mesh size).
+struct SweepReport {
+  bool ok = true;
+  std::string error;  // first failure, when !ok
+  std::vector<PointResult> results;  // results[i] is for points[i]
+  obs::MetricsRegistry metrics;
+  std::map<std::pair<int, int>, obs::LinkHeatmap> heatmaps;  // by (w, h)
+  double wall_seconds = 0;
+
+  /// The single merged heatmap when every point shared one mesh size,
+  /// nullptr when the grid mixed sizes (callers that want one map per size
+  /// read `heatmaps` directly).
+  [[nodiscard]] const obs::LinkHeatmap* sole_heatmap() const {
+    return heatmaps.size() == 1 ? &heatmaps.begin()->second : nullptr;
+  }
+};
+
+struct RunnerOptions {
+  int jobs = 0;          // worker threads; <= 0 selects hardware_concurrency
+  bool progress = false; // "\rsweep: done/total ... eta" lines on stderr
+};
+
+/// Execute a point with the default harnesses.  `registry` and `heatmap`
+/// are the point-private collectors the runner later merges.
+[[nodiscard]] PointResult run_point(const SweepPoint& pt,
+                                    obs::MetricsRegistry& registry,
+                                    obs::LinkHeatmap& heatmap);
+
+class ThreadPoolRunner {
+public:
+  using PointFn = std::function<PointResult(
+      const SweepPoint&, obs::MetricsRegistry&, obs::LinkHeatmap&)>;
+
+  explicit ThreadPoolRunner(RunnerOptions opt = {}) : opt_(opt) {}
+
+  /// Run every point (default harnesses) and merge observability.
+  [[nodiscard]] SweepReport run(const std::vector<SweepPoint>& points) const;
+
+  /// Same, with a custom per-point function (tests inject failures here).
+  /// An exception thrown by `fn` cancels the sweep: workers finish their
+  /// current point, unstarted points stay `ran == false`, and the report
+  /// carries ok == false plus the first error's message.
+  [[nodiscard]] SweepReport run(const std::vector<SweepPoint>& points,
+                                const PointFn& fn) const;
+
+  /// The worker count `run` will use (jobs, or hardware_concurrency).
+  [[nodiscard]] int effective_jobs() const;
+
+private:
+  RunnerOptions opt_;
+};
+
+} // namespace mdw::sweep
