@@ -9,6 +9,9 @@
 //                               <2% of routers hold flits on a 16x16 mesh.
 //   Burst/<k>x<k>               a burst of random unicasts driven to
 //                               quiescence — the dense-activity regime.
+//   Gather/<k>x<k>              high-degree EC-CM-HG invalidations — the
+//                               gather-heavy regime (multidestination worms,
+//                               i-ack posting, deferred pickups).
 //
 // Usage:
 //   bench_simspeed [--label=<s>] [--metrics-json=<path>] [gbench flags]
@@ -112,6 +115,47 @@ void BM_Burst(benchmark::State& state, int mesh_k) {
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Gather-heavy regime: high-degree invalidations under the MI-MA
+/// hierarchical-gather scheme (EC-CM-HG), so most simulated work is
+/// multidestination gather worms threading column leaders, i-ack posting,
+/// and deferred pickups — the paths that exercise the worm pool and the
+/// i-ack retry queues hardest.
+void BM_Gather(benchmark::State& state, int mesh_k) {
+  dsm::SystemParams p;
+  p.mesh_w = p.mesh_h = mesh_k;
+  p.scheme = core::Scheme::EcCmHg;
+  dsm::Machine m(p);
+  sim::Rng rng(13);
+  const int n = m.num_nodes();
+  const int d = 3 * mesh_k;  // sharers span most columns: many leader hops
+  std::uint64_t cycles = 0, hops = 0;
+  BlockAddr a = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    a += static_cast<BlockAddr>(n) + 1;
+    const NodeId home = m.home_of(a);
+    NodeId writer = home;
+    while (writer == home) writer = static_cast<NodeId>(rng.next_below(n));
+    prime(m, a,
+          workload::make_sharers(rng, m.network().mesh(), home, writer, d,
+                                 workload::SharerPattern::Uniform));
+    const Cycle c0 = m.engine().now();
+    const std::uint64_t h0 = m.network().stats().link_flit_hops;
+    state.ResumeTiming();
+    bool done = false;
+    m.node(writer).write(a, 1, [&] { done = true; });
+    m.engine().run_until([&] { return done; }, 50'000'000);
+    (void)m.engine().run_to_quiescence(1'000'000);
+    cycles += m.engine().now() - c0;
+    hops += m.network().stats().link_flit_hops - h0;
+  }
+  state.counters["sim_cycles_per_sec"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["flit_hops_per_sec"] =
+      benchmark::Counter(static_cast<double>(hops), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations());
+}
+
 /// Console output plus capture of the per-benchmark rate counters so main()
 /// can emit the --metrics-json trajectory point.
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -199,6 +243,11 @@ int main(int argc, char** argv) {
     const std::string name =
         "Burst/" + std::to_string(mesh) + "x" + std::to_string(mesh);
     benchmark::RegisterBenchmark(name.c_str(), BM_Burst, mesh);
+  }
+  for (int mesh : {16, 32}) {
+    const std::string name =
+        "Gather/" + std::to_string(mesh) + "x" + std::to_string(mesh);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Gather, mesh);
   }
 
   int bargc = static_cast<int>(args.size());

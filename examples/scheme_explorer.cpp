@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <span>
 #include <string>
 
 #include "core/inval_planner.h"
@@ -48,7 +49,7 @@ void render_measured_heatmap(core::Scheme s, int k, NodeId home,
 
 void render(const noc::MeshShape& mesh, NodeId home,
             const std::vector<NodeId>& sharers,
-            const std::vector<NodeId>& path, char mark,
+            std::span<const NodeId> path, char mark,
             const char* title) {
   std::printf("  %s (%zu hops)\n", title, path.size() - 1);
   std::vector<char> grid(static_cast<std::size_t>(mesh.num_nodes()), '.');

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Guard against simulator-throughput regressions.
+
+Compares the two newest points of the BENCH_simspeed.json trajectory on the
+scenarios they share: if any scenario's sim_cycles_per_sec dropped by more
+than the tolerance (default 10%), exit non-zero.  New scenarios that exist
+only in the newest point are reported but cannot regress; scenarios dropped
+from the newest point fail the check (a silently deleted benchmark would
+otherwise hide a regression).
+
+Usage:
+    scripts/check_simspeed.py [--trajectory BENCH_simspeed.json]
+                              [--tolerance 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_points(path: pathlib.Path) -> list[dict]:
+    data = json.loads(path.read_text())
+    points = data.get("points", [])
+    if len(points) < 2:
+        sys.exit(f"{path}: need at least 2 trajectory points, got {len(points)}")
+    return points
+
+
+def rates(point: dict) -> dict[str, float]:
+    return {
+        r["name"]: float(r["sim_cycles_per_sec"]) for r in point.get("results", [])
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--trajectory",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_simspeed.json",
+    )
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="max fractional sim_cycles_per_sec drop (default 0.10)")
+    args = ap.parse_args()
+
+    points = load_points(args.trajectory)
+    prev, new = points[-2], points[-1]
+    prev_rates, new_rates = rates(prev), rates(new)
+
+    print(f"check_simspeed: '{prev['label']}' -> '{new['label']}' "
+          f"(tolerance {args.tolerance:.0%})")
+
+    failures = []
+    for name in sorted(prev_rates):
+        if name not in new_rates:
+            failures.append(f"  {name}: present in '{prev['label']}' but "
+                            f"missing from '{new['label']}'")
+            continue
+        old_v, new_v = prev_rates[name], new_rates[name]
+        ratio = new_v / old_v if old_v > 0 else float("inf")
+        marker = "OK "
+        if ratio < 1.0 - args.tolerance:
+            marker = "FAIL"
+            failures.append(
+                f"  {name}: {old_v:.6g} -> {new_v:.6g} cyc/s "
+                f"({(ratio - 1.0) * 100:+.1f}%)")
+        print(f"  [{marker}] {name}: {old_v:.6g} -> {new_v:.6g} cyc/s "
+              f"({(ratio - 1.0) * 100:+.1f}%)")
+    for name in sorted(set(new_rates) - set(prev_rates)):
+        print(f"  [NEW ] {name}: {new_rates[name]:.6g} cyc/s")
+
+    if failures:
+        print(f"check_simspeed: FAILED — {len(failures)} regression(s) "
+              f"beyond {args.tolerance:.0%}:")
+        for f in failures:
+            print(f)
+        return 1
+    print("check_simspeed: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,18 +26,19 @@ cmake --build "$REL_BUILD" -j "$JOBS" --target bench_simspeed test_determinism
 "$REL_BUILD"/tests/test_determinism
 "$REL_BUILD"/bench/bench_simspeed --benchmark_min_time=0.05 \
     --benchmark_filter='SingleTxn/16x16/UI-UA|Burst/8x8'
+python3 scripts/check_simspeed.py
 
 echo
-echo "=== sanitizers: ASan/UBSan build, obs tests (${SAN_BUILD}) ==="
+echo "=== sanitizers: ASan/UBSan build, obs + worm-pool tests (${SAN_BUILD}) ==="
 cmake -B "$SAN_BUILD" -S . -DMDW_SANITIZE=address,undefined >/dev/null
-cmake --build "$SAN_BUILD" -j "$JOBS" --target test_obs_metrics
-ctest --test-dir "$SAN_BUILD" -R obs --output-on-failure
+cmake --build "$SAN_BUILD" -j "$JOBS" --target test_obs_metrics test_worm_pool
+ctest --test-dir "$SAN_BUILD" -R 'obs|worm_pool' --output-on-failure
 
 echo
-echo "=== sanitizers: TSan build, sweep thread-pool tests (${TSAN_BUILD}) ==="
+echo "=== sanitizers: TSan build, sweep + worm-pool tests (${TSAN_BUILD}) ==="
 cmake -B "$TSAN_BUILD" -S . -DMDW_SANITIZE=thread >/dev/null
-cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep
-ctest --test-dir "$TSAN_BUILD" -R sweep --output-on-failure
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep test_worm_pool
+ctest --test-dir "$TSAN_BUILD" -R 'sweep|worm_pool' --output-on-failure
 
 echo
 echo "verify: OK"

@@ -6,6 +6,8 @@
 #include <map>
 #include <set>
 
+#include "noc/worm_pool.h"
+
 namespace mdw::core {
 
 namespace {
@@ -88,8 +90,8 @@ struct PlannerCtx {
 #ifndef NDEBUG
     noc::Worm probe;
     probe.kind = WormKind::Gather;
-    probe.path = g.path;
-    probe.dests = g.dests;
+    probe.path.assign(g.path.begin(), g.path.end());
+    probe.dests.assign(g.dests.begin(), g.dests.end());
     assert(noc::worm_is_well_formed(mesh, algo, probe));
 #endif
     (void)algo;
@@ -716,15 +718,15 @@ void plan_wf(PlannerCtx& ctx, const std::vector<NodeId>& sharers,
 } // namespace
 
 noc::WormPtr build_gather_worm(const GatherPlan& plan, TxnId txn) {
-  auto w = std::make_shared<noc::Worm>();
+  noc::WormPtr w = noc::WormPool::local().acquire();
   static std::atomic<WormId> next_id{1u << 20};
   w->id = next_id++;
   w->kind = WormKind::Gather;
   w->vnet = VNet::Reply;
   w->txn = txn;
   w->src = plan.initiator;
-  w->path = plan.path;
-  w->dests = plan.dests;
+  w->path.assign(plan.path.begin(), plan.path.end());
+  w->dests.assign(plan.dests.begin(), plan.dests.end());
   w->length_flits = plan.length_flits;
   w->vc_class = plan.vc_class;
   w->gathered = 1;  // the initiator's own acknowledgment

@@ -1,0 +1,100 @@
+// Flit and the fixed-capacity flit ring buffer backing every input VC and
+// consumption channel.
+//
+// VC buffers are 2-4 flits deep (NocParams::vc_buffer_flits /
+// cons_buffer_flits) and live for the whole simulation, yet the seed modeled
+// them as std::deque<Flit> — a chunked heap container allocating and freeing
+// as flits stream through.  FlitRing stores the common depths inline in the
+// router object (<= kInlineFlits); deeper configurations take one heap block
+// at construction time and never allocate again.
+#pragma once
+
+#include <cassert>
+#include <memory>
+
+#include "sim/types.h"
+
+namespace mdw::noc {
+
+/// One flit in a buffer.  Deliberately tiny: worm ownership lives in
+/// InputVc::owner / ConsumptionChannel::worm, so moving a flit is a copy of
+/// two flags and a timestamp — no refcount traffic on the hop path.
+struct Flit {
+  bool head = false;
+  bool tail = false;
+  Cycle arrival = 0;
+};
+
+class FlitRing {
+public:
+  /// Inline depth; covers the default VC (4) and consumption (2) buffers.
+  static constexpr int kInlineFlits = 8;
+
+  FlitRing() = default;
+  FlitRing(const FlitRing&) = delete;
+  FlitRing& operator=(const FlitRing&) = delete;
+  // Movable so InputVc vectors can be resized at router construction.
+  FlitRing(FlitRing&& o) noexcept
+      : heap_(std::move(o.heap_)), cap_(o.cap_), head_(o.head_),
+        size_(o.size_) {
+    for (int i = 0; i < kInlineFlits; ++i) inline_[i] = o.inline_[i];
+    o.cap_ = o.head_ = o.size_ = 0;
+  }
+  FlitRing& operator=(FlitRing&& o) noexcept {
+    if (this != &o) {
+      heap_ = std::move(o.heap_);
+      cap_ = o.cap_;
+      head_ = o.head_;
+      size_ = o.size_;
+      for (int i = 0; i < kInlineFlits; ++i) inline_[i] = o.inline_[i];
+      o.cap_ = o.head_ = o.size_ = 0;
+    }
+    return *this;
+  }
+
+  /// Fix the capacity.  Called once at router construction (the buffers are
+  /// hardware FIFOs: their depth never changes afterwards).
+  void init(int capacity) {
+    assert(capacity > 0 && size_ == 0);
+    cap_ = capacity;
+    if (cap_ > kInlineFlits) heap_ = std::make_unique<Flit[]>(cap_);
+    head_ = 0;
+  }
+
+  [[nodiscard]] int capacity() const { return cap_; }
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == cap_; }
+
+  [[nodiscard]] const Flit& front() const {
+    assert(size_ > 0);
+    return data()[head_];
+  }
+
+  void push_back(const Flit& f) {
+    assert(size_ < cap_);
+    data()[wrap(head_ + size_)] = f;
+    ++size_;
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+private:
+  [[nodiscard]] Flit* data() { return heap_ != nullptr ? heap_.get() : inline_; }
+  [[nodiscard]] const Flit* data() const {
+    return heap_ != nullptr ? heap_.get() : inline_;
+  }
+  [[nodiscard]] int wrap(int i) const { return i >= cap_ ? i - cap_ : i; }
+
+  Flit inline_[kInlineFlits];
+  std::unique_ptr<Flit[]> heap_;  // only for capacities > kInlineFlits
+  int cap_ = 0;
+  int head_ = 0;
+  int size_ = 0;
+};
+
+} // namespace mdw::noc

@@ -1,9 +1,11 @@
 #include "noc/network.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 namespace mdw::noc {
 
@@ -45,7 +47,7 @@ Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& param
   const char* sweep_env = std::getenv("MDW_FULL_SWEEP");
   full_sweep_ =
       params_.full_sweep || (sweep_env != nullptr && *sweep_env != '0');
-  worklist_.reserve(static_cast<std::size_t>(n));
+  sched_words_.resize((static_cast<std::size_t>(n) + 63) / 64, 0);
   // Wire the mesh: router r's output in direction d feeds the neighbour's
   // input port opposite(d).
   for (NodeId id = 0; id < n; ++id) {
@@ -135,13 +137,13 @@ void Network::service_injection(NodeId n, Cycle now) {
       const int vnet = v / params_.inj_vcs_per_vnet;
       auto& q = iface.inject_q[vnet];
       if (q.empty() || !ivc.free()) continue;
-      st.worm = q.front();
+      st.worm = std::move(q.front());
       q.pop_front();
       st.flits_pushed = 0;
       ivc.owner = st.worm;
     }
     // Stream at most one flit per cycle into the Local input VC.
-    if (static_cast<int>(ivc.buf.size()) >= params_.vc_buffer_flits) continue;
+    if (ivc.buf.full()) continue;
     const bool head = st.flits_pushed == 0;
     const bool tail = st.flits_pushed == st.worm->length_flits - 1;
     ivc.buf.push_back(Flit{head, tail, now});
@@ -196,22 +198,30 @@ void Network::wake_router(NodeId id) {
   Router& r = *routers_[id];
   if (r.scheduled_) return;
   r.scheduled_ = true;
-  if (!in_tick_) {
-    worklist_.push_back(id);  // sorted at the start of the next tick
-    return;
-  }
-  // Splice into the running sweep at the router's rotating-arbitration
-  // position.  If that position is behind the cursor, the exhaustive sweep
-  // would already have passed it this phase too — later phases rescan from
-  // the front, so nothing is lost.
-  const int n = mesh_.num_nodes();
-  const int key = (id - sweep_start_ + n) % n;
-  const auto it = std::lower_bound(
-      worklist_.begin(), worklist_.end(), key,
-      [this, n](NodeId e, int k) { return (e - sweep_start_ + n) % n < k; });
-  const auto pos = static_cast<std::size_t>(it - worklist_.begin());
-  worklist_.insert(it, id);
-  if (pos <= scan_) ++scan_;
+  sched_words_[static_cast<std::size_t>(id) >> 6] |= 1ull << (id & 63);
+}
+
+template <class F>
+void Network::for_each_scheduled(int start, F&& f) {
+  // Each word is visited once; within the current word the bitmap is
+  // re-read after every callback, so bits set by mid-phase wakes at
+  // positions the cursor has not passed yet are picked up (see header).
+  auto scan_word = [&](int wi, std::uint64_t mask) {
+    while (true) {
+      const std::uint64_t bits = sched_words_[static_cast<std::size_t>(wi)] & mask;
+      if (bits == 0) return;
+      const int b = std::countr_zero(bits);
+      mask = b == 63 ? 0 : mask & (~0ull << (b + 1));
+      f(static_cast<NodeId>((wi << 6) + b));
+    }
+  };
+  const int nw = static_cast<int>(sched_words_.size());
+  const int w0 = start >> 6;
+  const int b0 = start & 63;
+  scan_word(w0, ~0ull << b0);                             // ids in [start, ...)
+  for (int wi = w0 + 1; wi < nw; ++wi) scan_word(wi, ~0ull);
+  for (int wi = 0; wi < w0; ++wi) scan_word(wi, ~0ull);   // wrap: ids < start
+  if (b0 != 0) scan_word(w0, ~0ull >> (64 - b0));
 }
 
 bool Network::node_has_work(NodeId id) const {
@@ -251,41 +261,29 @@ bool Network::tick(Cycle now) {
 
   // Active-region sweep: identical phase order and, within each phase, the
   // same (id - start) mod n visit order as the exhaustive sweep — routers
-  // with no work are simply absent.  Routers woken mid-tick are spliced in
-  // at their sorted position by wake_router.
-  sweep_start_ = start;
-  std::sort(worklist_.begin(), worklist_.end(),
-            [start, n](NodeId a, NodeId b) {
-              return (a - start + n) % n < (b - start + n) % n;
-            });
-  in_tick_ = true;
-  for (scan_ = 0; scan_ < worklist_.size(); ++scan_) {
-    const NodeId id = worklist_[scan_];
+  // with no work are simply absent.  Routers woken mid-tick are picked up
+  // at their rotating position by the bitmap rescan (see for_each_scheduled).
+  for_each_scheduled(start, [&](NodeId id) {
     if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
     routers_[id]->drain_consumption(now);
-  }
-  for (scan_ = 0; scan_ < worklist_.size(); ++scan_) {
-    service_injection(worklist_[scan_], now);
-  }
-  for (scan_ = 0; scan_ < worklist_.size(); ++scan_) {
-    routers_[worklist_[scan_]]->allocate(now);
-  }
-  for (scan_ = 0; scan_ < worklist_.size(); ++scan_) {
-    routers_[worklist_[scan_]]->traverse(now);
-  }
-  in_tick_ = false;
+  });
+  for_each_scheduled(start, [&](NodeId id) { service_injection(id, now); });
+  for_each_scheduled(start, [&](NodeId id) { routers_[id]->allocate(now); });
+  for_each_scheduled(start, [&](NodeId id) { routers_[id]->traverse(now); });
 
   // Deschedule fully drained routers; they re-enter via wake_router.
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < worklist_.size(); ++i) {
-    const NodeId id = worklist_[i];
-    if (node_has_work(id)) {
-      worklist_[kept++] = id;
-    } else {
-      routers_[id]->scheduled_ = false;
+  for (std::size_t wi = 0; wi < sched_words_.size(); ++wi) {
+    std::uint64_t bits = sched_words_[wi];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto id = static_cast<NodeId>((wi << 6) + b);
+      if (!node_has_work(id)) {
+        routers_[id]->scheduled_ = false;
+        sched_words_[wi] &= ~(1ull << b);
+      }
     }
   }
-  worklist_.resize(kept);
   return true;
 }
 

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,14 +18,18 @@
 #include "obs/metrics.h"
 #include "obs/trace_writer.h"
 #include "sim/engine.h"
+#include "sim/ring_queue.h"
 #include "sim/stats.h"
 
 namespace mdw::noc {
 
-/// Per-node network interface state.
+/// Per-node network interface state.  Both queues are growable rings: the
+/// storage follows the occupancy high-water mark and is then retained, so
+/// steady-state injection/retry traffic performs no allocation (std::deque
+/// churned chunk nodes here on every enqueue/dequeue wave).
 struct NetIface {
   /// Worms waiting to enter the router's Local port, per virtual network.
-  std::array<std::deque<WormPtr>, kNumVNets> inject_q;
+  std::array<sim::RingQueue<WormPtr>, kNumVNets> inject_q;
   /// Worm currently streaming flits into a Local input VC, per Local VC.
   struct Streaming {
     WormPtr worm;
@@ -34,7 +37,7 @@ struct NetIface {
   };
   std::vector<Streaming> streaming;
   /// i-ack posts that found the bank full and must retry.
-  std::deque<std::pair<TxnId, int>> pending_posts;
+  sim::RingQueue<std::pair<TxnId, int>> pending_posts;
 };
 
 struct NetworkStats {
@@ -152,12 +155,21 @@ private:
   std::int64_t pending_posts_ = 0;
   int rotate_ = 0;
 
+  /// Visit every scheduled router in (id - start) mod n order — the order
+  /// the exhaustive sweep uses.  The bitmap is re-read word by word, so a
+  /// router woken mid-phase at a position the cursor has not yet passed is
+  /// visited this phase (exactly when the full sweep would have reached it);
+  /// one woken behind the cursor waits for the next phase's rescan, which is
+  /// what the full sweep would have done too (it passes an empty router).
+  template <class F>
+  void for_each_scheduled(int start, F&& f);
+
   // --- active-region scheduling (see DESIGN.md "Scheduling model") --------
-  bool full_sweep_ = false;          // escape hatch: tick all routers
-  std::vector<NodeId> worklist_;     // scheduled routers; sorted per tick
-  std::size_t scan_ = 0;             // cursor into worklist_ mid-phase
-  bool in_tick_ = false;             // wakes splice into the running sweep
-  int sweep_start_ = 0;              // this tick's rotating start index
+  bool full_sweep_ = false;              // escape hatch: tick all routers
+  /// One bit per router: on the active region (mirrors Router::scheduled_).
+  /// Replaces a sorted worklist vector — waking is a bit-set, and each tick
+  /// phase streams the words in rotated order instead of sorting.
+  std::vector<std::uint64_t> sched_words_;
 
   /// Precomputed "iack_bank.<n>" counter names (see trace_bank_occupancy).
   std::vector<std::string> bank_counter_names_;

@@ -1,6 +1,7 @@
 #include "noc/router.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "noc/network.h"
@@ -11,8 +12,11 @@ Router::Router(Network& net, NodeId id, const NocParams& p)
     : net_(net), id_(id), params_(p), cons_(p.consumption_channels),
       bank_(p.iack_entries) {
   for (int port = 0; port < kNumPorts; ++port) {
+    assert(num_vcs(port) < 32 && "routed_mask_ is a 32-bit map per port");
     vcs_[port].resize(static_cast<std::size_t>(num_vcs(port)));
+    for (auto& v : vcs_[port]) v.buf.init(p.vc_buffer_flits);
   }
+  for (auto& ch : cons_) ch.buf.init(p.cons_buffer_flits);
 }
 
 std::pair<int, int> Router::vc_range(int port, VNet vnet) const {
@@ -38,9 +42,11 @@ void Router::drain_consumption(Cycle now) {
     net_.on_flit_removed();
     ++stats_.flits_consumed;
     if (f.tail) {
-      const WormPtr w = ch.worm;
+      // Hand the channel's reference straight to on_delivery: no refcount
+      // round-trip per consumed worm (this ran once per consumed flit when
+      // it was a shared_ptr copy).
+      const WormPtr w = std::move(ch.worm);
       const bool fin = ch.final_dest;
-      ch.worm = nullptr;
       ch.final_dest = false;
       net_.on_delivery(id_, w, fin, now);
     }
@@ -60,8 +66,8 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
     // Dynamic adaptive unicast: extend (or re-decide) the next hop, picking
     // the permitted direction whose downstream VCs have the most free space.
     if (w->head_hop + 2 == w->path.size()) w->path.pop_back();  // re-decide
-    const auto algo = static_cast<RoutingAlgo>(w->adaptive_algo);
-    const auto dirs = permitted_dirs(algo, net_.mesh(), id_, adaptive_dst);
+    const auto dirs =
+        permitted_dirs(w->adaptive_algo, net_.mesh(), id_, adaptive_dst);
     assert(!dirs.empty());
     int best_space = -1;
     NodeId best = kInvalidNode;
@@ -258,6 +264,7 @@ void Router::allocate(Cycle now) {
     InputVc& v = vcs_[port][vi];
     assert(!v.routed && !v.buf.empty() && v.buf.front().head);
     if (v.buf.front().arrival < now && try_allocate_head(v, now)) {
+      routed_mask_[port] |= 1u << vi;
       pending_heads_.erase(pending_heads_.begin() +
                            static_cast<std::ptrdiff_t>(i));
       continue;
@@ -266,7 +273,7 @@ void Router::allocate(Cycle now) {
   }
 }
 
-void Router::move_one_flit(int /*port*/, InputVc& v, Cycle now) {
+void Router::move_one_flit(int port, int vidx, InputVc& v, Cycle now) {
   const Flit f = v.buf.front();
 
   if (v.drain_to_bank) {
@@ -307,10 +314,8 @@ void Router::move_one_flit(int /*port*/, InputVc& v, Cycle now) {
   if (f.tail) {
     // Worm tail has left this VC: release it.
     v.owner = nullptr;
-    if (v.drain_to_bank) {
-      // Worm is now fully parked in the bank.
-    }
     v.reset_route();
+    routed_mask_[port] &= ~(1u << vidx);
   }
 }
 
@@ -318,19 +323,14 @@ bool Router::can_move(const InputVc& v, Cycle now) const {
   if (!v.routed || v.buf.empty() || v.buf.front().arrival >= now) return false;
   if (v.drain_to_bank) return true;
   if (v.final_here) {
-    const auto& ch = cons_[v.cons_ch];
-    return static_cast<int>(ch.buf.size()) < params_.cons_buffer_flits;
+    return !cons_[v.cons_ch].buf.full();
   }
   const OutLink& link = out_[v.out_port];
   if (link.used_this_cycle) return false;
   const InputVc& dvc =
       const_cast<Router*>(link.nbr)->vc(link.nbr_port, v.out_vc);
-  if (static_cast<int>(dvc.buf.size()) >= params_.vc_buffer_flits) return false;
-  if (v.deliver_here) {
-    const auto& ch = cons_[v.cons_ch];
-    if (static_cast<int>(ch.buf.size()) >= params_.cons_buffer_flits)
-      return false;
-  }
+  if (dvc.buf.full()) return false;
+  if (v.deliver_here && cons_[v.cons_ch].buf.full()) return false;
   return true;
 }
 
@@ -339,15 +339,27 @@ void Router::traverse(Cycle now) {
   if (active_work_ == 0) return;
   for (int pi = 0; pi < kNumPorts; ++pi) {
     const int port = (rr_port_ + pi) % kNumPorts;
+    const std::uint32_t mask = routed_mask_[port];
+    if (mask == 0) continue;  // no routed worm on this port
     const int nv = num_vcs(port);
-    for (int vi = 0; vi < nv; ++vi) {
-      const int vidx = (rr_vc_[port] + vi) % nv;
+    const int base = rr_vc_[port];
+    // Only routed VCs can move a flit; visiting their mask bits rotated by
+    // the round-robin pointer preserves the exact arbitration order of the
+    // exhaustive VC scan while skipping the (common) empty VCs entirely.
+    std::uint32_t rot =
+        base == 0 ? mask
+                  : ((mask >> base) | (mask << (nv - base))) & ((1u << nv) - 1);
+    while (rot != 0) {
+      const int off = std::countr_zero(rot);
+      int vidx = base + off;
+      if (vidx >= nv) vidx -= nv;
       InputVc& v = vcs_[port][vidx];
       if (can_move(v, now)) {
-        move_one_flit(port, v, now);
+        move_one_flit(port, vidx, v, now);
         rr_vc_[port] = (vidx + 1) % nv;
         break;  // one flit per input port per cycle
       }
+      rot &= rot - 1;
     }
   }
   rr_port_ = (rr_port_ + 1) % kNumPorts;

@@ -20,10 +20,10 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <vector>
 
+#include "noc/flit_ring.h"
 #include "noc/geometry.h"
 #include "noc/iack_buffer.h"
 #include "noc/worm.h"
@@ -52,21 +52,13 @@ struct NocParams {
   [[nodiscard]] int inj_vcs_total() const { return kNumVNets * inj_vcs_per_vnet; }
 };
 
-/// One flit in a buffer.  Deliberately tiny: worm ownership lives in
-/// InputVc::owner / ConsumptionChannel::worm, so moving a flit is a copy of
-/// two flags and a timestamp — no shared_ptr refcount traffic on the hop
-/// path.
-struct Flit {
-  bool head = false;
-  bool tail = false;
-  Cycle arrival = 0;
-};
-
 class Router;
 
-/// One directional inter-router or injection channel endpoint.
+/// One directional inter-router or injection channel endpoint.  The flit
+/// buffer is a fixed-depth ring sized from NocParams::vc_buffer_flits at
+/// router construction; nothing here allocates in steady state.
 struct InputVc {
-  std::deque<Flit> buf;
+  FlitRing buf;
   WormPtr owner;            // worm holding this VC (claim -> tail departure)
   bool routed = false;      // head processed at this router
   Cycle ready_at = 0;       // header pipeline gate
@@ -89,7 +81,7 @@ struct InputVc {
 struct ConsumptionChannel {
   WormPtr worm;             // worm being consumed, nullptr when free
   bool final_dest = false;  // consuming at the worm's final destination?
-  std::deque<Flit> buf;
+  FlitRing buf;             // depth NocParams::cons_buffer_flits
   [[nodiscard]] bool busy() const { return worm != nullptr; }
 };
 
@@ -143,7 +135,7 @@ private:
 
   bool try_allocate_head(InputVc& v, Cycle now);
   [[nodiscard]] bool can_move(const InputVc& v, Cycle now) const;
-  void move_one_flit(int port, InputVc& v, Cycle now);
+  void move_one_flit(int port, int vidx, InputVc& v, Cycle now);
   int find_free_cons_channel() const;
 
   /// A head flit was pushed into vcs_[port][v]: register it for allocation.
@@ -169,6 +161,10 @@ private:
   /// Unrouted head flits awaiting allocation, packed (port << 8) | vc,
   /// sorted ascending.
   std::vector<std::uint16_t> pending_heads_;
+  /// Bit v set iff vcs_[port][v] is routed (holds a worm committed through
+  /// allocation).  Traversal scans only these bits — in round-robin order —
+  /// instead of touching every VC's buffer state each cycle.
+  std::array<std::uint32_t, kNumPorts> routed_mask_{};
   int rr_port_ = 0;  // round-robin pointers
   std::array<int, kNumPorts> rr_vc_{};
 };

@@ -1,6 +1,7 @@
 #include "noc/routing.h"
 
 #include <algorithm>
+#include <cassert>
 #include <set>
 
 namespace mdw::noc {
@@ -15,11 +16,11 @@ const char* routing_name(RoutingAlgo a) {
   return "?";
 }
 
-std::vector<Dir> permitted_dirs(RoutingAlgo algo, const MeshShape& mesh,
-                                NodeId cur, NodeId dst) {
+DirList permitted_dirs(RoutingAlgo algo, const MeshShape& mesh,
+                       NodeId cur, NodeId dst) {
   const Coord c = mesh.coord_of(cur), d = mesh.coord_of(dst);
   const int dx = d.x - c.x, dy = d.y - c.y;
-  std::vector<Dir> out;
+  DirList out;
   if (dx == 0 && dy == 0) return out;
   switch (algo) {
     case RoutingAlgo::EcubeXY:
@@ -82,7 +83,7 @@ bool legal_turn(RoutingAlgo algo, Dir from, Dir to) {
 } // namespace
 
 bool is_conformant_path(RoutingAlgo algo, const MeshShape& mesh,
-                        const std::vector<NodeId>& path) {
+                        std::span<const NodeId> path) {
   if (path.size() < 2) return true;
   std::set<std::pair<NodeId, NodeId>> used_channels;
   Dir prev = Dir::Local;
@@ -96,9 +97,12 @@ bool is_conformant_path(RoutingAlgo algo, const MeshShape& mesh,
   return true;
 }
 
-std::vector<NodeId> unicast_path(RoutingAlgo algo, const MeshShape& mesh,
-                                 NodeId src, NodeId dst) {
-  std::vector<NodeId> path{src};
+namespace {
+
+template <class Vec>
+void build_unicast_path(RoutingAlgo algo, const MeshShape& mesh, NodeId src,
+                        NodeId dst, Vec& path) {
+  path.push_back(src);
   NodeId cur = src;
   while (cur != dst) {
     const auto dirs = permitted_dirs(algo, mesh, cur, dst);
@@ -107,7 +111,21 @@ std::vector<NodeId> unicast_path(RoutingAlgo algo, const MeshShape& mesh,
     cur = mesh.neighbor(cur, dirs.front());
     path.push_back(cur);
   }
+}
+
+} // namespace
+
+std::vector<NodeId> unicast_path(RoutingAlgo algo, const MeshShape& mesh,
+                                 NodeId src, NodeId dst) {
+  std::vector<NodeId> path;
+  build_unicast_path(algo, mesh, src, dst, path);
   return path;
+}
+
+void append_unicast_path(RoutingAlgo algo, const MeshShape& mesh, NodeId src,
+                         NodeId dst, PathVec& out) {
+  assert(out.empty());
+  build_unicast_path(algo, mesh, src, dst, out);
 }
 
 RoutingAlgo reply_algo_for(RoutingAlgo request_algo) {

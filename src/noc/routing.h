@@ -9,9 +9,11 @@
 //   * EastFirst  — mirror of WestFirst (reply network paired with WestFirst)
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "noc/geometry.h"
+#include "sim/small_vec.h"
 
 namespace mdw::noc {
 
@@ -19,10 +21,34 @@ enum class RoutingAlgo : std::uint8_t { EcubeXY, EcubeYX, WestFirst, EastFirst }
 
 [[nodiscard]] const char* routing_name(RoutingAlgo a);
 
+/// Inline hop capacity of a worm path: covers the full diameter path of an
+/// 8x8 mesh (W + H - 1 = 15 nodes).  Larger meshes spill to a heap block
+/// that is recycled with the pooled worm (see WormPool).
+inline constexpr std::size_t kInlinePathHops = 16;
+
+/// Hop sequence of a worm, path[0] == source.  Small-inline so steady-state
+/// unicast construction on common mesh sizes performs no allocation.
+using PathVec = sim::SmallVec<NodeId, kInlinePathHops>;
+
+/// Up-to-four permitted output directions; value type, never allocates.
+/// (The seed returned std::vector<Dir>, a heap allocation per adaptive hop.)
+struct DirList {
+  Dir dirs[4];
+  int n = 0;
+
+  void push_back(Dir d) { dirs[n++] = d; }
+  [[nodiscard]] int size() const { return n; }
+  [[nodiscard]] bool empty() const { return n == 0; }
+  [[nodiscard]] Dir front() const { return dirs[0]; }
+  [[nodiscard]] Dir operator[](int i) const { return dirs[i]; }
+  [[nodiscard]] const Dir* begin() const { return dirs; }
+  [[nodiscard]] const Dir* end() const { return dirs + n; }
+};
+
 /// Directions a *minimal* unicast message at `cur` heading for `dst` may take
 /// under `algo`.  Empty when cur == dst.
-[[nodiscard]] std::vector<Dir> permitted_dirs(RoutingAlgo algo, const MeshShape& mesh,
-                                              NodeId cur, NodeId dst);
+[[nodiscard]] DirList permitted_dirs(RoutingAlgo algo, const MeshShape& mesh,
+                                     NodeId cur, NodeId dst);
 
 /// True iff `path` (a sequence of adjacent nodes, first = source) is a legal
 /// walk under `algo`, i.e. some unicast message could traverse it.  This is
@@ -30,13 +56,18 @@ enum class RoutingAlgo : std::uint8_t { EcubeXY, EcubeYX, WestFirst, EastFirst }
 /// Additionally rejects paths that reuse a directed channel (multidestination
 /// worms must be simple paths for deadlock freedom).
 [[nodiscard]] bool is_conformant_path(RoutingAlgo algo, const MeshShape& mesh,
-                                      const std::vector<NodeId>& path);
+                                      std::span<const NodeId> path);
 
 /// Build the deterministic minimal unicast path src -> dst (inclusive of both
 /// endpoints) under `algo`.  For the adaptive schemes this returns one legal
 /// minimal path (dimension-order within the permitted turns).
 [[nodiscard]] std::vector<NodeId> unicast_path(RoutingAlgo algo, const MeshShape& mesh,
                                                NodeId src, NodeId dst);
+
+/// As unicast_path, but appends into `out` (which must be empty): the worm
+/// builders write the path straight into the pooled worm's inline storage.
+void append_unicast_path(RoutingAlgo algo, const MeshShape& mesh, NodeId src,
+                         NodeId dst, PathVec& out);
 
 /// Reply-network routing conventionally paired with a request-network scheme
 /// (separate logical networks break request/reply protocol deadlock; pairing

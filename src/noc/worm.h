@@ -18,13 +18,21 @@
 //   GatherPickup       pick up the accumulated i-ack count from the i-ack
 //                      buffer; defer (virtual cut-through into the buffer)
 //                      when it has not been posted yet (i-gather worms)
+//
+// Memory model (DESIGN.md section 11): worms are reference-counted
+// intrusively and recycled through a WormPool.  The refcount is non-atomic —
+// a worm lives and dies on the thread that built it (one Machine runs on one
+// thread; the sweep runner gives each worker its own thread-local pool) —
+// so claiming/releasing a worm on the router hot path is a plain increment,
+// not an atomic RMW as with the std::shared_ptr the seed used.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
 #include "noc/geometry.h"
+#include "noc/routing.h"
+#include "sim/small_vec.h"
 #include "sim/types.h"
 
 namespace mdw::noc {
@@ -51,6 +59,11 @@ struct DestSpec {
   std::uint16_t expected_posts = 1;
 };
 
+/// Inline destination capacity: covers every scheme's per-worm destination
+/// list on the paper's mesh sizes; longer lists spill to a recycled block.
+inline constexpr std::size_t kInlineDests = 8;
+using DestVec = sim::SmallVec<DestSpec, kInlineDests>;
+
 /// Opaque payload base; the protocol layer derives its message types from it.
 struct Payload {
   virtual ~Payload() = default;
@@ -67,6 +80,8 @@ enum class WormKind : std::uint8_t {
   return names[static_cast<int>(k)];
 }
 
+class WormPool;
+
 struct Worm {
   WormId id = 0;
   WormKind kind = WormKind::Unicast;
@@ -76,11 +91,11 @@ struct Worm {
 
   /// Full hop sequence, path[0] == src, path.back() == final destination.
   /// Always non-empty; a self-delivery has path == {src}.
-  std::vector<NodeId> path;
+  PathVec path;
 
   /// Destinations in path order; the final destination is dests.back() and
   /// must equal path.back().  For Unicast worms this has exactly one entry.
-  std::vector<DestSpec> dests;
+  DestVec dests;
 
   /// Total worm length in flits (header + payload + tail).
   int length_flits = 1;
@@ -97,7 +112,7 @@ struct Worm {
   /// a turn-model routing (the only base routings with per-hop choice that
   /// stay deadlock-free without escape channels).
   bool adaptive = false;
-  std::uint8_t adaptive_algo = 0;  // RoutingAlgo, kept POD to avoid includes
+  RoutingAlgo adaptive_algo = RoutingAlgo::WestFirst;
 
   std::shared_ptr<const Payload> payload;
 
@@ -112,10 +127,108 @@ struct Worm {
   Cycle inject_cycle = 0;
   Cycle deliver_cycle = 0;
 
+  // --- Pool linkage (managed by WormPtr / WormPool) ---------------------
+  /// Intrusive reference count.  Non-atomic by design: see the memory-model
+  /// note at the top of this header.
+  std::uint32_t refs = 0;
+  /// Owning pool; nullptr for worms allocated outside any pool (deleted on
+  /// release instead of recycled).
+  WormPool* pool = nullptr;
+
   [[nodiscard]] NodeId final_dest() const { return path.back(); }
   [[nodiscard]] bool is_multidest() const { return dests.size() > 1; }
+
+  /// Return the worm to its pristine state while KEEPING the heap capacity
+  /// of `path` / `dests` (and the refs/pool linkage).  Called by the pool on
+  /// recycle, so a reused worm is indistinguishable from a new one.
+  void reset_for_reuse() {
+    id = 0;
+    kind = WormKind::Unicast;
+    vnet = VNet::Request;
+    txn = 0;
+    src = kInvalidNode;
+    path.clear();
+    dests.clear();
+    length_flits = 1;
+    vc_class = -1;
+    adaptive = false;
+    adaptive_algo = RoutingAlgo::WestFirst;
+    payload.reset();
+    head_hop = 0;
+    next_dest = 0;
+    gathered = 0;
+    inject_cycle = 0;
+    deliver_cycle = 0;
+  }
 };
 
-using WormPtr = std::shared_ptr<Worm>;
+/// Out-of-line slow path of WormPtr release: recycle into the owning pool,
+/// or delete an unpooled worm.  Defined in worm_pool.cpp.
+void release_worm(Worm* w) noexcept;
+
+/// Intrusive smart pointer to a Worm.  Replaces std::shared_ptr<Worm>: no
+/// separate control block (the count lives in the worm), no atomic refcount
+/// traffic, and destruction recycles the worm through its pool instead of
+/// freeing path/dests storage.
+class WormPtr {
+public:
+  constexpr WormPtr() noexcept = default;
+  constexpr WormPtr(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+  /// Adopt a raw worm (takes one reference).
+  explicit WormPtr(Worm* w) noexcept : p_(w) {
+    if (p_ != nullptr) ++p_->refs;
+  }
+
+  WormPtr(const WormPtr& o) noexcept : p_(o.p_) {
+    if (p_ != nullptr) ++p_->refs;
+  }
+  WormPtr(WormPtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+  WormPtr& operator=(const WormPtr& o) noexcept {
+    if (p_ != o.p_) {
+      drop();
+      p_ = o.p_;
+      if (p_ != nullptr) ++p_->refs;
+    }
+    return *this;
+  }
+  WormPtr& operator=(WormPtr&& o) noexcept {
+    if (this != &o) {
+      drop();
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  WormPtr& operator=(std::nullptr_t) noexcept {
+    drop();
+    return *this;
+  }
+
+  ~WormPtr() { drop(); }
+
+  [[nodiscard]] Worm* get() const noexcept { return p_; }
+  [[nodiscard]] Worm& operator*() const noexcept { return *p_; }
+  [[nodiscard]] Worm* operator->() const noexcept { return p_; }
+  [[nodiscard]] explicit operator bool() const noexcept { return p_ != nullptr; }
+  [[nodiscard]] std::uint32_t use_count() const noexcept {
+    return p_ != nullptr ? p_->refs : 0;
+  }
+
+  friend bool operator==(const WormPtr& a, const WormPtr& b) noexcept {
+    return a.p_ == b.p_;
+  }
+  friend bool operator==(const WormPtr& a, std::nullptr_t) noexcept {
+    return a.p_ == nullptr;
+  }
+
+private:
+  void drop() noexcept {
+    if (p_ != nullptr && --p_->refs == 0) release_worm(p_);
+    p_ = nullptr;
+  }
+
+  Worm* p_ = nullptr;
+};
 
 } // namespace mdw::noc

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "noc/worm_pool.h"
+
 namespace mdw::noc {
 
 namespace {
@@ -13,7 +15,8 @@ bool worm_is_well_formed(const MeshShape& mesh, RoutingAlgo algo,
                          const Worm& w) {
   if (w.path.empty() || w.dests.empty()) return false;
   if (w.dests.back().node != w.path.back()) return false;
-  if (!is_conformant_path(algo, mesh, w.path)) return false;
+  if (!is_conformant_path(algo, mesh, {w.path.data(), w.path.size()}))
+    return false;
   // Destinations must appear in path order and be unique.
   std::size_t cursor = 0;
   for (const auto& d : w.dests) {
@@ -43,14 +46,14 @@ bool worm_is_well_formed(const MeshShape& mesh, RoutingAlgo algo,
 WormPtr make_unicast(const MeshShape& mesh, RoutingAlgo algo, VNet vnet,
                      NodeId src, NodeId dst, int length_flits, TxnId txn,
                      std::shared_ptr<const Payload> payload) {
-  auto w = std::make_shared<Worm>();
+  WormPtr w = WormPool::local().acquire();
   w->id = g_next_worm_id++;
   w->kind = WormKind::Unicast;
   w->vnet = vnet;
   w->txn = txn;
   w->src = src;
-  w->path = unicast_path(algo, mesh, src, dst);
-  w->dests = {DestSpec{dst, DestAction::Deliver, 1}};
+  append_unicast_path(algo, mesh, src, dst, w->path);
+  w->dests.push_back(DestSpec{dst, DestAction::Deliver, 1});
   w->length_flits = length_flits;
   w->payload = std::move(payload);
   assert(worm_is_well_formed(mesh, algo, *w));
@@ -61,18 +64,18 @@ WormPtr make_adaptive_unicast(RoutingAlgo algo, VNet vnet, NodeId src,
                               NodeId dst, int length_flits, TxnId txn,
                               std::shared_ptr<const Payload> payload) {
   assert(algo == RoutingAlgo::WestFirst || algo == RoutingAlgo::EastFirst);
-  auto w = std::make_shared<Worm>();
+  WormPtr w = WormPool::local().acquire();
   w->id = g_next_worm_id++;
   w->kind = WormKind::Unicast;
   w->vnet = vnet;
   w->txn = txn;
   w->src = src;
-  w->path = {src};  // extended hop by hop inside the routers
-  w->dests = {DestSpec{dst, DestAction::Deliver, 1}};
+  w->path.push_back(src);  // extended hop by hop inside the routers
+  w->dests.push_back(DestSpec{dst, DestAction::Deliver, 1});
   w->length_flits = length_flits;
   w->payload = std::move(payload);
   w->adaptive = true;
-  w->adaptive_algo = static_cast<std::uint8_t>(algo);
+  w->adaptive_algo = algo;
   return w;
 }
 
@@ -80,14 +83,14 @@ WormPtr make_multidest(const MeshShape& mesh, RoutingAlgo algo, WormKind kind,
                        VNet vnet, std::vector<NodeId> path,
                        std::vector<DestSpec> dests, int length_flits,
                        TxnId txn, std::shared_ptr<const Payload> payload) {
-  auto w = std::make_shared<Worm>();
+  WormPtr w = WormPool::local().acquire();
   w->id = g_next_worm_id++;
   w->kind = kind;
   w->vnet = vnet;
   w->txn = txn;
   w->src = path.front();
-  w->path = std::move(path);
-  w->dests = std::move(dests);
+  w->path.assign(path.begin(), path.end());
+  w->dests.assign(dests.begin(), dests.end());
   w->length_flits = length_flits;
   w->payload = std::move(payload);
   assert(worm_is_well_formed(mesh, algo, *w));

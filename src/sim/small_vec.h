@@ -1,0 +1,128 @@
+// Small-inline vector for trivially copyable elements on the simulator hot
+// path (worm paths and destination lists).
+//
+// The first N elements live inline in the object; growing past N spills to a
+// single heap block.  clear() never releases the spill block, so a container
+// recycled through a pool (see noc::WormPool) reaches a steady state where
+// no per-message allocation happens at all: the spill block acquired by the
+// largest message a slot ever carried is reused by every later occupant.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace mdw::sim {
+
+template <class T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "SmallVec is restricted to trivially copyable payloads");
+  static_assert(N > 0);
+
+public:
+  using value_type = T;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> il) { assign(il.begin(), il.end()); }
+  SmallVec(const SmallVec& o) { assign(o.begin(), o.end()); }
+  SmallVec(SmallVec&& o) noexcept { steal(o); }
+  ~SmallVec() { delete[] heap_; }
+
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) assign(o.begin(), o.end());
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      delete[] heap_;
+      heap_ = nullptr;
+      steal(o);
+    }
+    return *this;
+  }
+  SmallVec& operator=(std::initializer_list<T> il) {
+    assign(il.begin(), il.end());
+    return *this;
+  }
+
+  /// Replace the contents with [first, last).  Keeps any spill block.
+  template <class It>
+  void assign(It first, It last) {
+    size_ = 0;
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data()[size_++] = v;
+  }
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+  /// Drop all elements; inline storage and any spill block are retained.
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  [[nodiscard]] const T* data() const {
+    return heap_ != nullptr ? heap_ : inline_;
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  /// True once the container has spilled to the heap (stays true after
+  /// clear(): the block is kept for reuse).
+  [[nodiscard]] bool spilled() const { return heap_ != nullptr; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+
+private:
+  void grow(std::size_t new_cap) {
+    T* nd = new T[new_cap];
+    std::memcpy(static_cast<void*>(nd), data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = nd;
+    cap_ = new_cap;
+  }
+
+  /// Move: steal the spill block when there is one, memcpy when inline.
+  void steal(SmallVec& o) {
+    if (o.heap_ != nullptr) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+    } else {
+      std::memcpy(static_cast<void*>(inline_), o.inline_, o.size_ * sizeof(T));
+    }
+    size_ = o.size_;
+    o.size_ = 0;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;  // spill block, nullptr while inline
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+} // namespace mdw::sim

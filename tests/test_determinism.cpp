@@ -95,6 +95,26 @@ TEST(Determinism, SameSeedSameFingerprint) {
   }
 }
 
+TEST(Determinism, PooledHotPathMatchesPrePoolGoldens) {
+  // Exact fingerprints captured from the pre-pooling implementation
+  // (std::shared_ptr worms, std::deque flit buffers, std::vector paths),
+  // full-sweep scheduling, seed 42.  The worm pool, intrusive WormPtr,
+  // SmallVec paths, and FlitRing buffers are pure memory-layout changes:
+  // any drift here means the refactor altered simulated behaviour.
+  const struct {
+    core::Scheme scheme;
+    Fingerprint golden;
+  } pins[] = {
+      {core::Scheme::UiUa, {104, 104, 0, 9600, 0, 0, 4, 880, 3016, 6040}},
+      {core::Scheme::EcCmHg, {90, 80, 7, 9140, 1, 10, 4, 764, 2542, 5924}},
+      {core::Scheme::WfScSg, {66, 66, 20, 9559, 0, 0, 4, 883, 2236, 6043}},
+  };
+  for (const auto& pin : pins) {
+    const Fingerprint got = run_workload(pin.scheme, /*full_sweep=*/true, 42);
+    EXPECT_EQ(got, pin.golden) << "scheme " << core::scheme_name(pin.scheme);
+  }
+}
+
 TEST(Determinism, ActiveRegionMatchesFullSweep) {
   for (core::Scheme s : kSchemes) {
     const Fingerprint active = run_workload(s, /*full_sweep=*/false, 7);

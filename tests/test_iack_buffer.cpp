@@ -3,12 +3,13 @@
 #include <gtest/gtest.h>
 
 #include "noc/iack_buffer.h"
+#include "noc/worm_pool.h"
 
 namespace mdw::noc {
 namespace {
 
 WormPtr make_worm(TxnId txn) {
-  auto w = std::make_shared<Worm>();
+  WormPtr w = WormPool::local().acquire();
   w->txn = txn;
   w->kind = WormKind::Gather;
   return w;

@@ -3,6 +3,7 @@
 // completeness, and the message-count relationships the paper argues.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -184,7 +185,8 @@ TEST(Planner, GatherWormBuilderInstantiatesBlueprint) {
   EXPECT_EQ(worm->txn, 42u);
   EXPECT_EQ(worm->src, bp.initiator);
   EXPECT_EQ(worm->gathered, 1);
-  EXPECT_EQ(worm->path, bp.path);
+  ASSERT_EQ(worm->path.size(), bp.path.size());
+  EXPECT_TRUE(std::equal(worm->path.begin(), worm->path.end(), bp.path.begin()));
 }
 
 TEST(Planner, SingleSharerDegeneratesGracefully) {

@@ -6,6 +6,7 @@
 
 #include "noc/network.h"
 #include "noc/worm_builder.h"
+#include "noc/worm_pool.h"
 #include "sim/engine.h"
 #include "sim/rng.h"
 
@@ -57,7 +58,7 @@ TEST(NetworkUnicast, LatencyMatchesWormholeModel) {
 
 TEST(NetworkUnicast, SelfDeliveryBypassesNetwork) {
   Fixture f;
-  auto w = std::make_shared<Worm>();
+  WormPtr w = WormPool::local().acquire();
   w->src = 3;
   w->path = {3};
   w->dests = {DestSpec{3, DestAction::Deliver, 1}};

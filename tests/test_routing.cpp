@@ -150,7 +150,8 @@ TEST(Conformance, RejectsNonAdjacentHops) {
 
 TEST(Conformance, TrivialPathsAreConformant) {
   const MeshShape m(8, 8);
-  EXPECT_TRUE(is_conformant_path(RoutingAlgo::EcubeXY, m, {m.id_of({3, 3})}));
+  const NodeId self[] = {m.id_of({3, 3})};
+  EXPECT_TRUE(is_conformant_path(RoutingAlgo::EcubeXY, m, self));
   EXPECT_TRUE(is_conformant_path(RoutingAlgo::EcubeXY, m, {}));
 }
 

@@ -1,0 +1,188 @@
+// Unit tests for the allocation-free hot-path containers added in DESIGN.md
+// section 11: the WormPool freelist, SmallVec spill behaviour, FlitRing
+// wraparound, and RingQueue growth.
+#include <gtest/gtest.h>
+
+#include "noc/flit_ring.h"
+#include "noc/worm_pool.h"
+#include "sim/ring_queue.h"
+#include "sim/small_vec.h"
+
+namespace mdw::noc {
+namespace {
+
+TEST(WormPool, AcquireReleaseReusesSameObject) {
+  WormPool pool;
+  Worm* raw = nullptr;
+  {
+    WormPtr w = pool.acquire();
+    raw = w.get();
+    w->txn = 77;
+    w->kind = WormKind::Gather;
+    EXPECT_EQ(pool.outstanding(), 1);
+  }
+  EXPECT_EQ(pool.outstanding(), 0);
+  EXPECT_EQ(pool.free_count(), 1u);
+
+  WormPtr again = pool.acquire();
+  EXPECT_EQ(again.get(), raw);  // freelist handed back the same object
+  EXPECT_EQ(pool.reused(), 1u);
+  // ...and it came back pristine.
+  EXPECT_EQ(again->txn, 0u);
+  EXPECT_EQ(again->kind, WormKind::Unicast);
+  EXPECT_TRUE(again->path.empty());
+  EXPECT_TRUE(again->dests.empty());
+}
+
+TEST(WormPool, RefcountKeepsWormAliveAcrossCopies) {
+  WormPool pool;
+  WormPtr a = pool.acquire();
+  EXPECT_EQ(a.use_count(), 1u);
+  WormPtr b = a;
+  EXPECT_EQ(a.use_count(), 2u);
+  a = nullptr;
+  EXPECT_EQ(pool.outstanding(), 1);  // b still holds it
+  b = nullptr;
+  EXPECT_EQ(pool.outstanding(), 0);
+  EXPECT_EQ(pool.free_count(), 1u);
+}
+
+TEST(WormPool, MoveDoesNotTouchRefcount) {
+  WormPool pool;
+  WormPtr a = pool.acquire();
+  Worm* raw = a.get();
+  WormPtr b = std::move(a);
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(a.get(), nullptr);
+  EXPECT_EQ(b.use_count(), 1u);
+}
+
+TEST(WormPool, HeapSpillRetainedAcrossRecycle) {
+  WormPool pool;
+  {
+    WormPtr w = pool.acquire();
+    // Push past the inline path capacity: a 20-hop path on a big mesh.
+    for (NodeId n = 0; n < static_cast<NodeId>(kInlinePathHops + 4); ++n) {
+      w->path.push_back(n);
+    }
+    ASSERT_TRUE(w->path.spilled());
+    EXPECT_GE(w->path.capacity(), static_cast<std::size_t>(kInlinePathHops + 4));
+  }
+  // The recycled worm keeps the spill block: the next occupant of this slot
+  // can carry a long path without reallocating.
+  WormPtr w2 = pool.acquire();
+  EXPECT_TRUE(w2->path.empty());
+  EXPECT_TRUE(w2->path.spilled());
+  EXPECT_GE(w2->path.capacity(), static_cast<std::size_t>(kInlinePathHops + 4));
+}
+
+TEST(WormPool, UnpooledWormsDeleteCleanly) {
+  // Worms constructed outside any pool (pool == nullptr) are plain
+  // heap objects; the last WormPtr must delete rather than recycle.
+  WormPtr w(new Worm);
+  w->txn = 5;
+  w = nullptr;  // must not crash or leak (ASan stage verifies)
+}
+
+TEST(SmallVec, InlineThenSpill) {
+  sim::SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_FALSE(v.spilled());
+  v.push_back(4);
+  EXPECT_TRUE(v.spilled());
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.spilled());  // clear keeps the block
+}
+
+TEST(SmallVec, CopyAndMoveSemantics) {
+  sim::SmallVec<int, 2> a{1, 2, 3, 4};
+  sim::SmallVec<int, 2> b = a;  // copy
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[3], 4);
+  sim::SmallVec<int, 2> c = std::move(a);  // steals the spill block
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[0], 1);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(FlitRing, WrapAroundPreservesFifoOrder) {
+  FlitRing r;
+  r.init(3);
+  // Cycle enough flits through a 3-deep ring to wrap several times.
+  Cycle next_in = 0, next_out = 0;
+  for (int step = 0; step < 20; ++step) {
+    while (!r.full()) r.push_back(Flit{false, false, next_in++});
+    while (!r.empty()) {
+      EXPECT_EQ(r.front().arrival, next_out++);
+      r.pop_front();
+    }
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(FlitRing, FullAndEmptyBoundaries) {
+  FlitRing r;
+  r.init(2);
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.full());
+  r.push_back(Flit{true, false, 1});
+  EXPECT_FALSE(r.empty());
+  EXPECT_FALSE(r.full());
+  r.push_back(Flit{false, true, 2});
+  EXPECT_TRUE(r.full());
+  EXPECT_EQ(r.size(), 2);
+  EXPECT_TRUE(r.front().head);
+  r.pop_front();
+  EXPECT_TRUE(r.front().tail);
+  r.pop_front();
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(FlitRing, DeepConfigsUseHeapStorage) {
+  FlitRing r;
+  r.init(FlitRing::kInlineFlits * 2);
+  for (int i = 0; i < FlitRing::kInlineFlits * 2; ++i) {
+    r.push_back(Flit{false, false, static_cast<Cycle>(i)});
+  }
+  EXPECT_TRUE(r.full());
+  for (int i = 0; i < FlitRing::kInlineFlits * 2; ++i) {
+    EXPECT_EQ(r.front().arrival, static_cast<Cycle>(i));
+    r.pop_front();
+  }
+}
+
+TEST(RingQueue, GrowsAcrossWrapBoundary) {
+  sim::RingQueue<int> q;
+  // Stagger pushes and pops so head_ is mid-buffer when growth happens:
+  // the grow() must relocate the wrapped run in FIFO order.
+  int in = 0, out = 0;
+  for (int i = 0; i < 6; ++i) q.push_back(in++);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.front(), out++);
+    q.pop_front();
+  }
+  for (int i = 0; i < 40; ++i) q.push_back(in++);  // forces two grows
+  while (!q.empty()) {
+    EXPECT_EQ(q.front(), out++);
+    q.pop_front();
+  }
+  EXPECT_EQ(out, in);
+}
+
+TEST(RingQueue, PopReleasesHeldReferences) {
+  WormPool pool;
+  sim::RingQueue<WormPtr> q;
+  q.push_back(pool.acquire());
+  EXPECT_EQ(pool.outstanding(), 1);
+  q.pop_front();
+  // The vacated slot was reset, so the worm went back to the pool even
+  // though the queue's storage still exists.
+  EXPECT_EQ(pool.outstanding(), 0);
+  EXPECT_EQ(pool.free_count(), 1u);
+}
+
+} // namespace
+} // namespace mdw::noc
