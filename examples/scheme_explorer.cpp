@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
     std::printf("%s  —  %zu request worm(s), %zu gather worm(s), %d ack "
                 "message(s) at the home\n",
                 std::string(core::scheme_name(s)).c_str(),
-                plan.request_worms.size(), plan.directive->gathers.size(),
+                plan.request_worms.size(), plan.directive->gathers().size(),
                 plan.expected_ack_messages);
     int i = 0;
     for (const auto& w : plan.request_worms) {
@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
       render(mesh, home, sharers, w->path, '*', title.c_str());
     }
     i = 0;
-    for (const auto& g : plan.directive->gathers) {
+    for (const auto& g : plan.directive->gathers()) {
       const std::string title =
           "gather worm " + std::to_string(++i) +
           (g.path.back() == home ? " (to home)" : " (deposits at leader)");

@@ -1,16 +1,18 @@
 #!/usr/bin/env python3
 """Guard against simulator-throughput regressions.
 
-Compares the two newest points of the BENCH_simspeed.json trajectory on the
-scenarios they share: if any scenario's sim_cycles_per_sec dropped by more
-than the tolerance (default 10%), exit non-zero.  New scenarios that exist
-only in the newest point are reported but cannot regress; scenarios dropped
-from the newest point fail the check (a silently deleted benchmark would
-otherwise hide a regression).
+Compares the newest point of the BENCH_simspeed.json trajectory against a
+baseline point on the scenarios they share: if any scenario's
+sim_cycles_per_sec dropped by more than the tolerance (default 10%), exit
+non-zero.  The baseline is the second-newest point by default, or the newest
+point carrying --baseline=<label> when given.  Scenarios present in only one
+of the two compared points get a warning on stderr; new scenarios cannot
+regress, but scenarios dropped from the newest point fail the check (a
+silently deleted benchmark would otherwise hide a regression).
 
 Usage:
     scripts/check_simspeed.py [--trajectory BENCH_simspeed.json]
-                              [--tolerance 0.10]
+                              [--tolerance 0.10] [--baseline LABEL]
 """
 
 from __future__ import annotations
@@ -45,11 +47,30 @@ def main() -> int:
     )
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="max fractional sim_cycles_per_sec drop (default 0.10)")
+    ap.add_argument("--baseline", metavar="LABEL", default=None,
+                    help="compare against the newest point with this label "
+                         "instead of the second-newest point")
     args = ap.parse_args()
 
     points = load_points(args.trajectory)
-    prev, new = points[-2], points[-1]
+    new = points[-1]
+    if args.baseline is not None:
+        matches = [p for p in points[:-1] if p.get("label") == args.baseline]
+        if not matches:
+            known = ", ".join(p.get("label", "?") for p in points[:-1])
+            sys.exit(f"{args.trajectory}: no baseline point labelled "
+                     f"'{args.baseline}' (known: {known})")
+        prev = matches[-1]
+    else:
+        prev = points[-2]
     prev_rates, new_rates = rates(prev), rates(new)
+
+    for name in sorted(set(prev_rates) - set(new_rates)):
+        print(f"check_simspeed: warning: scenario '{name}' present only in "
+              f"baseline '{prev['label']}'", file=sys.stderr)
+    for name in sorted(set(new_rates) - set(prev_rates)):
+        print(f"check_simspeed: warning: scenario '{name}' present only in "
+              f"newest point '{new['label']}'", file=sys.stderr)
 
     print(f"check_simspeed: '{prev['label']}' -> '{new['label']}' "
           f"(tolerance {args.tolerance:.0%})")

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification: clean build + tier-1 tests, a Release build with a
 # bench_simspeed smoke (catches perf-path code that only breaks under -O2),
-# a rebuild of the observability tests under ASan/UBSan, and a TSan build
-# of the sweep tests (catches data races in the thread-pool grid runner).
+# a rebuild of the observability tests under ASan/UBSan, a UBSan-only build
+# running the complete tier-1 test list (UB in the protocol/planner hot
+# paths shows up here without ASan's run-time cost), and a TSan build of
+# the sweep tests (catches data races in the thread-pool grid runner).
 #
 #   $ scripts/verify.sh [build-dir]
 set -euo pipefail
@@ -11,6 +13,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 REL_BUILD="${BUILD}-release"
 SAN_BUILD="${BUILD}-asan"
+UBSAN_BUILD="${BUILD}-ubsan"
 TSAN_BUILD="${BUILD}-tsan"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
@@ -33,6 +36,12 @@ echo "=== sanitizers: ASan/UBSan build, obs + worm-pool tests (${SAN_BUILD}) ===
 cmake -B "$SAN_BUILD" -S . -DMDW_SANITIZE=address,undefined >/dev/null
 cmake --build "$SAN_BUILD" -j "$JOBS" --target test_obs_metrics test_worm_pool
 ctest --test-dir "$SAN_BUILD" -R 'obs|worm_pool' --output-on-failure
+
+echo
+echo "=== sanitizers: UBSan build, full tier-1 test list (${UBSAN_BUILD}) ==="
+cmake -B "$UBSAN_BUILD" -S . -DMDW_SANITIZE=undefined >/dev/null
+cmake --build "$UBSAN_BUILD" -j "$JOBS"
+ctest --test-dir "$UBSAN_BUILD" --output-on-failure -j "$JOBS"
 
 echo
 echo "=== sanitizers: TSan build, sweep + worm-pool tests (${TSAN_BUILD}) ==="

@@ -128,7 +128,7 @@ AnalyticEstimate estimate_from_plan(Scheme scheme, const noc::MeshShape& mesh,
   double ack_traffic = 0;
   double ack_msgs = 0;
   if (framework_of(scheme) == Framework::MiMa) {
-    for (const auto& g : plan.directive->gathers) {
+    for (const auto& g : plan.directive->gathers()) {
       const double hops = static_cast<double>(g.path.size() - 1);
       ack_traffic += hops * g.length_flits;
       if (g.path.back() == home) ack_msgs += 1;
@@ -142,7 +142,7 @@ AnalyticEstimate estimate_from_plan(Scheme scheme, const noc::MeshShape& mesh,
   const double nworms = static_cast<double>(plan.request_worms.size());
   const double total_gathers =
       framework_of(scheme) == Framework::MiMa
-          ? static_cast<double>(plan.directive->gathers.size())
+          ? static_cast<double>(plan.directive->gathers().size())
           : ack_msgs;
   e.messages = nworms + total_gathers;
   e.traffic_flit_hops = req_traffic + ack_traffic;

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "core/sharer_set.h"
 #include "noc/worm_pool.h"
 
 namespace mdw::core {
@@ -34,22 +35,51 @@ void append_straight(std::vector<NodeId>& path, const MeshShape& mesh, int x,
   }
 }
 
+/// Flat insert-or-assign map from node to DestSpec used while assembling one
+/// worm.  Worms carry at most a few dozen destinations, so a membership
+/// bitmap plus a linear entry array beats per-node rb-tree allocation, and
+/// lookups on the (common) non-destination path nodes are one bitmap test.
+class ActionMap {
+ public:
+  DestSpec& operator[](NodeId n) {
+    if (present_.contains(n)) {
+      for (auto& d : entries_)
+        if (d.node == n) return d;
+    }
+    present_.insert(n);
+    entries_.push_back(DestSpec{n, DestAction::Deliver, 1});
+    return entries_.back();
+  }
+  [[nodiscard]] const DestSpec* find(NodeId n) const {
+    if (!present_.contains(n)) return nullptr;
+    for (const auto& d : entries_)
+      if (d.node == n) return &d;
+    return nullptr;  // unreachable: the bitmap mirrors the entries
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  SharerBitmap present_;
+  std::vector<DestSpec> entries_;
+};
+
 /// Emit DestSpecs for every node of `actions` in path order (each exactly
 /// once, at its first traversal).  Asserts that all of them lie on the path.
-std::vector<DestSpec> dests_by_path_scan(
-    const std::vector<NodeId>& path,
-    const std::map<NodeId, DestSpec>& actions) {
+std::vector<DestSpec> dests_by_path_scan(const std::vector<NodeId>& path,
+                                         const ActionMap& actions) {
+  const std::size_t want = actions.size();
   std::vector<DestSpec> out;
-  std::set<NodeId> emitted;
+  out.reserve(want);
+  SharerBitmap emitted;  // stack-local dedup; no node allocations
   for (NodeId n : path) {
-    if (emitted.count(n)) continue;
-    auto it = actions.find(n);
-    if (it != actions.end()) {
-      out.push_back(it->second);
+    if (emitted.contains(n)) continue;
+    if (const DestSpec* d = actions.find(n)) {
+      out.push_back(*d);
       emitted.insert(n);
+      if (out.size() == want) break;  // turnaround tails carry no new dests
     }
   }
-  assert(emitted.size() == actions.size());
+  assert(out.size() == want);
   return out;
 }
 
@@ -58,13 +88,14 @@ struct PlannerCtx {
   NodeId home;
   TxnId txn;
   const noc::WormSizing& sizing;
+  std::shared_ptr<InvalPattern> pattern;
   std::shared_ptr<InvalDirective> directive;
   InvalPlan plan;
 
   noc::Coord h() const { return mesh.coord_of(home); }
 
   void add_request_worm(RoutingAlgo algo, std::vector<NodeId> path,
-                        const std::map<NodeId, DestSpec>& actions) {
+                        const ActionMap& actions) {
     auto dests = dests_by_path_scan(path, actions);
     // The worm terminates at its last destination: trim the path there.
     while (path.back() != dests.back().node) path.pop_back();
@@ -76,7 +107,7 @@ struct PlannerCtx {
 
   /// Register a gather blueprint and mark its initiator.
   void add_gather(NodeId initiator, RoutingAlgo algo, std::vector<NodeId> path,
-                  const std::map<NodeId, DestSpec>& actions, int vc_class,
+                  const ActionMap& actions, int vc_class,
                   int covers) {
     GatherPlan g;
     g.initiator = initiator;
@@ -95,10 +126,9 @@ struct PlannerCtx {
     assert(noc::worm_is_well_formed(mesh, algo, probe));
 #endif
     (void)algo;
-    directive->roles[initiator] = SharerRole::LaunchGather;
-    directive->gather_of[initiator] =
-        static_cast<int>(directive->gathers.size());
-    directive->gathers.push_back(std::move(g));
+    pattern->roles[initiator] = SharerRole::LaunchGather;
+    pattern->gather_of[initiator] = static_cast<int>(pattern->gathers.size());
+    pattern->gathers.push_back(std::move(g));
     if (ends_at_home) plan.expected_ack_messages += 1;
   }
 };
@@ -112,7 +142,7 @@ void plan_ui_ua(PlannerCtx& ctx, const std::vector<NodeId>& sharers,
     ctx.plan.request_worms.push_back(
         noc::make_unicast(ctx.mesh, request_algo, VNet::Request, ctx.home, s,
                           ctx.sizing.control_size(1), ctx.txn, ctx.directive));
-    ctx.directive->roles[s] = SharerRole::UnicastAck;
+    ctx.pattern->roles[s] = SharerRole::UnicastAck;
   }
   ctx.plan.expected_ack_messages = static_cast<int>(sharers.size());
 }
@@ -214,8 +244,7 @@ void plan_ec(PlannerCtx& ctx, const std::vector<NodeId>& sharers,
   const bool ma = variant != EcVariant::Ua;  // multidestination acks
 
   for (NodeId s : sharers) {
-    ctx.directive->roles[s] =
-        ma ? SharerRole::PostLocal : SharerRole::UnicastAck;
+    ctx.pattern->roles[s] = ma ? SharerRole::PostLocal : SharerRole::UnicastAck;
   }
   if (!ma) ctx.plan.expected_ack_messages = static_cast<int>(sharers.size());
 
@@ -225,7 +254,7 @@ void plan_ec(PlannerCtx& ctx, const std::vector<NodeId>& sharers,
     std::vector<NodeId> path{ctx.home};
     append_straight(path, mesh, h.x, rows.back());
     const NodeId initiator = mesh.id_of({h.x, rows.back()});
-    std::map<NodeId, DestSpec> acts;
+    ActionMap acts;
     for (int y : rows) {
       const NodeId n = mesh.id_of({h.x, y});
       acts[n] = DestSpec{n,
@@ -237,7 +266,7 @@ void plan_ec(PlannerCtx& ctx, const std::vector<NodeId>& sharers,
     if (ma) {
       std::vector<NodeId> gpath{initiator};
       append_straight(gpath, mesh, h.x, h.y);
-      std::map<NodeId, DestSpec> gacts;
+      ActionMap gacts;
       for (int y : rows) {
         const NodeId n = mesh.id_of({h.x, y});
         if (n != initiator) gacts[n] = DestSpec{n, DestAction::GatherPickup, 1};
@@ -283,7 +312,7 @@ void plan_ec(PlannerCtx& ctx, const std::vector<NodeId>& sharers,
                      : mesh.id_of({s.col, s.col_rows.back()});
 
       // ---- Request worm ----------------------------------------------
-      std::map<NodeId, DestSpec> acts;
+      ActionMap acts;
       for (int y : s.col_rows) {
         const NodeId n = mesh.id_of({s.col, y});
         const bool init = ma && n == initiator;
@@ -327,7 +356,7 @@ void plan_ec(PlannerCtx& ctx, const std::vector<NodeId>& sharers,
       // ---- Gather worm -------------------------------------------------
       std::vector<NodeId> gpath{initiator};
       if (!s.row_worm) append_straight(gpath, mesh, s.col, h.y);
-      std::map<NodeId, DestSpec> gacts;
+      ActionMap gacts;
       for (int y : s.col_rows) {
         const NodeId n = mesh.id_of({s.col, y});
         if (n != initiator) gacts[n] = DestSpec{n, DestAction::GatherPickup, 1};
@@ -611,8 +640,7 @@ void plan_wf(PlannerCtx& ctx, const std::vector<NodeId>& sharers,
   const bool ma = variant != WfVariant::ScUa;
 
   for (NodeId s : sharers) {
-    ctx.directive->roles[s] =
-        ma ? SharerRole::PostLocal : SharerRole::UnicastAck;
+    ctx.pattern->roles[s] = ma ? SharerRole::PostLocal : SharerRole::UnicastAck;
   }
   if (!ma) ctx.plan.expected_ack_messages = static_cast<int>(sharers.size());
 
@@ -628,7 +656,7 @@ void plan_wf(PlannerCtx& ctx, const std::vector<NodeId>& sharers,
   struct GatherDraft {
     NodeId initiator;
     std::vector<NodeId> path;
-    std::map<NodeId, DestSpec> acts;
+    ActionMap acts;
     int vc_class;
     RoutingAlgo algo;
     int covers;
@@ -700,7 +728,7 @@ void plan_wf(PlannerCtx& ctx, const std::vector<NodeId>& sharers,
     reqs = wf_request_serpentines(mesh, ctx.home, sharers);
   }
   for (const auto& r : reqs) {
-    std::map<NodeId, DestSpec> acts;
+    ActionMap acts;
     for (NodeId s : r.covered) {
       const bool init = ma && initiators.count(s) > 0;
       acts[s] = DestSpec{
@@ -737,11 +765,16 @@ InvalPlan plan_invalidation(Scheme scheme, const MeshShape& mesh, NodeId home,
                             const std::vector<NodeId>& sharers, TxnId txn,
                             const noc::WormSizing& sizing) {
   assert(!sharers.empty());
-  PlannerCtx ctx{mesh, home, txn, sizing,
-                 std::make_shared<InvalDirective>(), InvalPlan{}};
+  assert(std::is_sorted(sharers.begin(), sharers.end()));
+  PlannerCtx ctx{mesh,    home,
+                 txn,     sizing,
+                 std::make_shared<InvalPattern>(),
+                 std::make_shared<InvalDirective>(),
+                 InvalPlan{}};
+  ctx.pattern->home = home;
+  ctx.pattern->total_sharers = static_cast<int>(sharers.size());
   ctx.directive->txn = txn;
-  ctx.directive->home = home;
-  ctx.directive->total_sharers = static_cast<int>(sharers.size());
+  ctx.directive->pattern = ctx.pattern;
   ctx.plan.directive = ctx.directive;
 
   switch (scheme) {
@@ -757,9 +790,20 @@ InvalPlan plan_invalidation(Scheme scheme, const MeshShape& mesh, NodeId home,
   }
   ctx.plan.total_ack_worms =
       framework_of(scheme) == Framework::MiMa
-          ? static_cast<int>(ctx.directive->gathers.size())
+          ? static_cast<int>(ctx.pattern->gathers.size())
           : ctx.plan.expected_ack_messages;
   return std::move(ctx.plan);
+}
+
+InvalPlan plan_invalidation(Scheme scheme, const MeshShape& mesh, NodeId home,
+                            const SharerBitmap& sharers, TxnId txn,
+                            const noc::WormSizing& sizing) {
+  // The grouping passes iterate the sharer set repeatedly; one ascending
+  // materialization here (on the PlanCache miss path only) keeps them
+  // simple.  Bitmap iteration is ascending, so this is exactly the order
+  // the sorted-vector overload requires.
+  return plan_invalidation(scheme, mesh, home, sharers.to_vector(), txn,
+                           sizing);
 }
 
 } // namespace mdw::core

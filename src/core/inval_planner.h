@@ -11,6 +11,13 @@
 //     planned i-gather worm), and
 //   * the number of acknowledgment *messages* the home will receive
 //     (completion itself is detected by counting d individual acks).
+//
+// Because the plan is a pure function of (scheme, mesh, home, sharer set),
+// its immutable parts are split into InvalPattern, shared by reference:
+// per-transaction state (txn id, block address, requester) lives in the
+// small InvalDirective wrapper, so the PlanCache (plan_cache.h) can replay a
+// memoized pattern for a new transaction with one small allocation instead
+// of recomputing the grouping and re-deriving every worm path.
 #pragma once
 
 #include <memory>
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "core/scheme.h"
+#include "core/sharer_set.h"
 #include "noc/worm_builder.h"
 
 namespace mdw::core {
@@ -41,16 +49,42 @@ struct GatherPlan {
   int covers = 1;
 };
 
-/// Shared payload attached to every request-phase worm of one transaction.
-struct InvalDirective final : noc::Payload {
-  TxnId txn = 0;
+/// The immutable product of planning one (scheme, mesh, home, sharer-set)
+/// combination: sharer roles, gather blueprints, and the home identity.
+/// Shared (by shared_ptr) between every directive stamped from it — a
+/// PlanCache hit reuses the pattern across transactions.
+struct InvalPattern {
   NodeId home = kInvalidNode;
-  NodeId requester = kInvalidNode;
-  BlockAddr addr = 0;           // filled in by the protocol layer
   int total_sharers = 0;        // d
   std::unordered_map<NodeId, SharerRole> roles;
   std::unordered_map<NodeId, int> gather_of;  // sharer -> index into gathers
   std::vector<GatherPlan> gathers;
+};
+
+/// Shared payload attached to every request-phase worm of one transaction:
+/// the per-transaction fields plus a reference to the immutable pattern.
+struct InvalDirective final : noc::Payload {
+  TxnId txn = 0;
+  NodeId requester = kInvalidNode;
+  BlockAddr addr = 0;           // filled in by the protocol layer
+  std::shared_ptr<const InvalPattern> pattern;
+
+  [[nodiscard]] NodeId home() const { return pattern->home; }
+  [[nodiscard]] int total_sharers() const { return pattern->total_sharers; }
+  [[nodiscard]] const std::unordered_map<NodeId, SharerRole>& roles() const {
+    return pattern->roles;
+  }
+  [[nodiscard]] const std::unordered_map<NodeId, int>& gather_of() const {
+    return pattern->gather_of;
+  }
+  [[nodiscard]] const std::vector<GatherPlan>& gathers() const {
+    return pattern->gathers;
+  }
+  /// The gather blueprint `sharer` must launch (role == LaunchGather).
+  [[nodiscard]] const GatherPlan& gather_for(NodeId sharer) const {
+    return pattern->gathers[static_cast<std::size_t>(
+        pattern->gather_of.at(sharer))];
+  }
 };
 
 struct InvalPlan {
@@ -67,7 +101,14 @@ struct InvalPlan {
 };
 
 /// Plan one invalidation transaction.  `sharers` must exclude the home and
-/// the requester and be non-empty.
+/// the requester and be non-empty; the vector overload requires ascending
+/// order (both forms then produce identical plans).
+[[nodiscard]] InvalPlan plan_invalidation(Scheme scheme,
+                                          const noc::MeshShape& mesh,
+                                          NodeId home,
+                                          const SharerBitmap& sharers,
+                                          TxnId txn,
+                                          const noc::WormSizing& sizing);
 [[nodiscard]] InvalPlan plan_invalidation(Scheme scheme,
                                           const noc::MeshShape& mesh,
                                           NodeId home,

@@ -1,0 +1,97 @@
+#include "core/plan_cache.h"
+
+namespace mdw::core {
+
+PlanCache::PlanCache(int entries) {
+  if (entries <= 0) return;
+  std::size_t n = 1;
+  while (n < static_cast<std::size_t>(entries)) n <<= 1;
+  slots_.resize(n);
+  mask_ = n - 1;
+}
+
+std::uint64_t PlanCache::key_hash(Scheme scheme, NodeId home,
+                                  const SharerBitmap& sharers) {
+  std::uint64_t h = sharers.hash();
+  h ^= (static_cast<std::uint64_t>(scheme) << 32) ^
+       static_cast<std::uint64_t>(static_cast<std::uint32_t>(home));
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return h;
+}
+
+InvalPlan PlanCache::replay(const Slot& s, TxnId txn) const {
+  InvalPlan plan;
+  auto directive = std::make_shared<InvalDirective>();
+  directive->txn = txn;
+  directive->pattern = s.pattern;
+  plan.request_worms.reserve(s.request_worms.size());
+  for (const WormBlueprint& b : s.request_worms) {
+    plan.request_worms.push_back(noc::make_from_blueprint(
+        b.kind, noc::VNet::Request, b.path.data(), b.path.size(),
+        b.dests.data(), b.dests.size(), b.length_flits, txn, directive));
+  }
+  plan.directive = std::move(directive);
+  plan.expected_ack_messages = s.expected_ack_messages;
+  plan.total_ack_worms = s.total_ack_worms;
+  return plan;
+}
+
+InvalPlan PlanCache::get_or_build(Scheme scheme, const noc::MeshShape& mesh,
+                                  NodeId home, const SharerBitmap& sharers,
+                                  TxnId txn, const noc::WormSizing& sizing) {
+  if (!enabled()) {
+    return plan_invalidation(scheme, mesh, home, sharers, txn, sizing);
+  }
+  const std::uint64_t hash = key_hash(scheme, home, sharers);
+  const std::size_t base = static_cast<std::size_t>(hash >> 32) & mask_;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& s = slots_[(base + i) & mask_];
+    if (s.used && s.hash == hash && s.scheme == scheme && s.home == home &&
+        s.sharers == sharers) {
+      s.ref = true;
+      ++stats_.hits;
+      return replay(s, txn);
+    }
+  }
+  ++stats_.misses;
+  InvalPlan plan = plan_invalidation(scheme, mesh, home, sharers, txn, sizing);
+
+  // Pick a victim: an empty slot if the window has one, otherwise the first
+  // entry whose reference bit the passing clock hand finds unset.
+  Slot* victim = nullptr;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& s = slots_[(base + i) & mask_];
+    if (!s.used) {
+      victim = &s;
+      break;
+    }
+    if (victim == nullptr && !s.ref) victim = &s;
+    s.ref = false;
+  }
+  if (victim == nullptr) victim = &slots_[base];  // all referenced: evict head
+  if (victim->used) ++stats_.evictions;
+
+  victim->used = true;
+  victim->ref = false;
+  victim->hash = hash;
+  victim->scheme = scheme;
+  victim->home = home;
+  victim->sharers = sharers;
+  victim->pattern = plan.directive->pattern;
+  victim->expected_ack_messages = plan.expected_ack_messages;
+  victim->total_ack_worms = plan.total_ack_worms;
+  victim->request_worms.clear();
+  victim->request_worms.reserve(plan.request_worms.size());
+  for (const noc::WormPtr& w : plan.request_worms) {
+    WormBlueprint b;
+    b.kind = w->kind;
+    b.path.assign(w->path.begin(), w->path.end());
+    b.dests.assign(w->dests.begin(), w->dests.end());
+    b.length_flits = w->length_flits;
+    victim->request_worms.push_back(std::move(b));
+  }
+  return plan;
+}
+
+} // namespace mdw::core

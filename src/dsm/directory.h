@@ -5,9 +5,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <set>
 #include <unordered_map>
 
+#include "core/sharer_set.h"
 #include "sim/types.h"
 
 namespace mdw::dsm {
@@ -27,7 +27,7 @@ struct PendingReq {
 
 struct DirEntry {
   DirState state = DirState::Uncached;
-  std::set<NodeId> sharers;     // presence bits
+  core::SharerBitmap sharers;   // presence bits
   NodeId owner = kInvalidNode;  // valid in Exclusive
   std::uint64_t mem_value = 0;  // logical memory image at the home
 

@@ -46,7 +46,8 @@ void Node::send_coh(MsgType t, BlockAddr a, NodeId dst, NodeId requester,
           ? noc::make_adaptive_unicast(algo, vnet, id_, dst, flits, txn,
                                        std::move(msg))
           : noc::make_unicast(machine_.network().mesh(), algo, vnet, id_, dst,
-                              flits, txn, std::move(msg));
+                              flits, txn, std::move(msg),
+                              &machine_.network().route_cache());
   if (reply) worm->vc_class = p_.reply_vc_class();
   oc_send(std::move(worm));
 }
@@ -233,7 +234,7 @@ void Node::dc_write(BlockAddr a, NodeId requester) {
       break;
     case DirState::Shared: {
       e.sharers.erase(requester);  // upgrade: the requester needs no inval
-      if (e.sharers.count(id_)) {
+      if (e.sharers.contains(id_)) {
         // The home's own cached copy is invalidated locally (no message).
         e.sharers.erase(id_);
         if (op_.active && !op_.is_write && op_.addr == a &&
@@ -273,13 +274,12 @@ void Node::start_invalidation(BlockAddr a, DirEntry& e) {
   ++dir_.stats().inval_txns;
   const TxnId txn = machine_.next_txn();
   e.txn = txn;
-  e.acks_needed = static_cast<int>(e.sharers.size());
+  e.acks_needed = e.sharers.count();
   e.acks_got = 0;
   txn_addr_[txn] = a;
 
-  const std::vector<NodeId> sharers(e.sharers.begin(), e.sharers.end());
-  auto plan = core::plan_invalidation(p_.scheme, machine_.network().mesh(),
-                                      id_, sharers, txn, p_.sizing);
+  auto plan = machine_.plan_cache().get_or_build(
+      p_.scheme, machine_.network().mesh(), id_, e.sharers, txn, p_.sizing);
   // The directive is shared by every worm of the plan; fill in the
   // protocol-level fields.
   auto dir = std::const_pointer_cast<InvalDirective>(plan.directive);
@@ -433,19 +433,17 @@ void Node::cc_invalidation(NodeId here,
       pending_inval_.insert(dir->addr);
     }
     cache_.invalidate(dir->addr);  // acks are sent even for evicted copies
-    switch (dir->roles.at(here)) {
+    switch (dir->roles().at(here)) {
       case SharerRole::UnicastAck:
-        send_coh(MsgType::InvalAck, dir->addr, dir->home, dir->requester,
+        send_coh(MsgType::InvalAck, dir->addr, dir->home(), dir->requester,
                  dir->txn, 0);
         break;
       case SharerRole::PostLocal:
         machine_.network().post_iack(here, dir->txn, 1);
         break;
-      case SharerRole::LaunchGather: {
-        const auto& g = dir->gathers[dir->gather_of.at(here)];
-        oc_send(core::build_gather_worm(g, dir->txn));
+      case SharerRole::LaunchGather:
+        oc_send(core::build_gather_worm(dir->gather_for(here), dir->txn));
         break;
-      }
     }
   });
 }

@@ -36,6 +36,11 @@ struct SystemParams {
   noc::NocParams noc{};
   noc::WormSizing sizing{};
 
+  /// Bound on the invalidation-plan memo table (core::PlanCache); 0 disables
+  /// memoization.  Purely a simulator-speed knob: results are bit-identical
+  /// at any setting (DESIGN.md section 12).
+  int plan_cache_entries = 4096;
+
   double cycle_ns = 5.0;   // one network cycle
   int proc_cycle = 2;      // network cycles per 100 MHz processor cycle
 

@@ -24,6 +24,7 @@ std::string worm_trace_args(const Worm& w) {
 Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& params,
                  obs::MetricsRegistry* metrics)
     : eng_(eng), mesh_(mesh), params_(params),
+      route_cache_(params.route_cache_entries),
       heatmap_(mesh.width(), mesh.height()), tracer_(eng.trace_writer()) {
   if (metrics == nullptr) {
     own_metrics_ = std::make_unique<obs::MetricsRegistry>();
@@ -87,6 +88,7 @@ void Network::inject(const WormPtr& worm) {
   }
   ++in_flight_;
   ++queued_worms_;
+  ++ifaces_[worm->src].inj_work;
   ifaces_[worm->src].inject_q[static_cast<int>(worm->vnet)].push_back(worm);
   wake_router(worm->src);
 }
@@ -95,6 +97,7 @@ void Network::reinject(NodeId at, const WormPtr& worm) {
   // Deferred gather worm resuming its path from `at`.
   assert(worm->path[worm->head_hop] == at);
   ++queued_worms_;
+  ++ifaces_[at].inj_work;
   ifaces_[at].inject_q[static_cast<int>(worm->vnet)].push_back(worm);
   wake_router(at);
 }
@@ -123,10 +126,12 @@ void Network::try_pending_posts(NodeId n) {
     }
     if (released.has_value()) reinject(n, *released);
   }
+  if (iface.pending_posts.empty()) note_maybe_idle(n);
 }
 
 void Network::service_injection(NodeId n, Cycle now) {
   auto& iface = ifaces_[n];
+  if (iface.inj_work == 0) return;  // nothing queued, nothing streaming
   Router& r = *routers_[n];
   const int local = static_cast<int>(Dir::Local);
   for (int v = 0; v < params_.inj_vcs_total(); ++v) {
@@ -158,6 +163,7 @@ void Network::service_injection(NodeId n, Cycle now) {
       st.worm = nullptr;
       st.flits_pushed = 0;
       --queued_worms_;
+      --iface.inj_work;
     }
   }
 }
@@ -227,14 +233,7 @@ void Network::for_each_scheduled(int start, F&& f) {
 bool Network::node_has_work(NodeId id) const {
   if (routers_[id]->active_work_ > 0) return true;
   const NetIface& iface = ifaces_[id];
-  if (!iface.pending_posts.empty()) return true;
-  for (const auto& q : iface.inject_q) {
-    if (!q.empty()) return true;
-  }
-  for (const auto& st : iface.streaming) {
-    if (st.worm != nullptr) return true;
-  }
-  return false;
+  return iface.inj_work > 0 || !iface.pending_posts.empty();
 }
 
 bool Network::tick(Cycle now) {
@@ -263,27 +262,34 @@ bool Network::tick(Cycle now) {
   // same (id - start) mod n visit order as the exhaustive sweep — routers
   // with no work are simply absent.  Routers woken mid-tick are picked up
   // at their rotating position by the bitmap rescan (see for_each_scheduled).
-  for_each_scheduled(start, [&](NodeId id) {
-    if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
-    routers_[id]->drain_consumption(now);
-  });
-  for_each_scheduled(start, [&](NodeId id) { service_injection(id, now); });
-  for_each_scheduled(start, [&](NodeId id) { routers_[id]->allocate(now); });
+  // Each phase's sweep is skipped outright when the global counter says no
+  // router anywhere holds that class of work (the sweep would be a no-op);
+  // the gates are read at phase start, so work generated by an earlier phase
+  // this cycle (e.g. a reinjection from a completed i-ack post) still runs.
+  if (pending_posts_ != 0 || cons_flits_total_ != 0) {
+    for_each_scheduled(start, [&](NodeId id) {
+      if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
+      routers_[id]->drain_consumption(now);
+    });
+  }
+  if (queued_worms_ != 0) {
+    for_each_scheduled(start, [&](NodeId id) { service_injection(id, now); });
+  }
+  if (pending_heads_total_ != 0) {
+    for_each_scheduled(start, [&](NodeId id) { routers_[id]->allocate(now); });
+  }
   for_each_scheduled(start, [&](NodeId id) { routers_[id]->traverse(now); });
 
-  // Deschedule fully drained routers; they re-enter via wake_router.
-  for (std::size_t wi = 0; wi < sched_words_.size(); ++wi) {
-    std::uint64_t bits = sched_words_[wi];
-    while (bits != 0) {
-      const int b = std::countr_zero(bits);
-      bits &= bits - 1;
-      const auto id = static_cast<NodeId>((wi << 6) + b);
-      if (!node_has_work(id)) {
-        routers_[id]->scheduled_ = false;
-        sched_words_[wi] &= ~(1ull << b);
-      }
+  // Deschedule fully drained routers; they re-enter via wake_router.  Only
+  // routers that hit a work-emptying transition this cycle (note_maybe_idle)
+  // can have turned idle, so only those are re-checked.
+  for (const NodeId id : idle_checks_) {
+    if (routers_[id]->scheduled_ && !node_has_work(id)) {
+      routers_[id]->scheduled_ = false;
+      sched_words_[static_cast<std::size_t>(id) >> 6] &= ~(1ull << (id & 63));
     }
   }
+  idle_checks_.clear();
   return true;
 }
 

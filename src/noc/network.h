@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "noc/route_cache.h"
 #include "noc/router.h"
 #include "noc/routing.h"
 #include "obs/heatmap.h"
@@ -38,6 +39,9 @@ struct NetIface {
   std::vector<Streaming> streaming;
   /// i-ack posts that found the bank full and must retry.
   sim::RingQueue<std::pair<TxnId, int>> pending_posts;
+  /// Worms queued in inject_q plus worms mid-stream: lets service_injection
+  /// and node_has_work skip the per-VC scan when the NI is idle.
+  int inj_work = 0;
 };
 
 struct NetworkStats {
@@ -68,6 +72,9 @@ public:
   [[nodiscard]] sim::Engine& engine() { return eng_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
   [[nodiscard]] const obs::LinkHeatmap& heatmap() const { return heatmap_; }
+  /// Memoized unicast routes (sized by NocParams::route_cache_entries);
+  /// shared by every protocol-level make_unicast call on this network.
+  [[nodiscard]] RouteCache& route_cache() { return route_cache_; }
 
   /// Opt-in event tracing (worm spans, i-ack bank occupancy); nullptr off.
   void set_trace_writer(obs::TraceWriter* t) { tracer_ = t; }
@@ -118,6 +125,20 @@ public:
   /// Live-flit accounting, used for cheap global activity detection.
   void on_flit_removed() { --live_flits_; }
   void on_flit_copied() { ++live_flits_; }
+  /// Global phase-work accounting: consumption-channel flits and unrouted
+  /// heads across all routers.  A zero count lets tick() skip that phase's
+  /// sweep outright — equivalent to running it over routers with none of
+  /// that work class, which is a no-op.
+  void on_cons_flit(int delta) { cons_flits_total_ += delta; }
+  void on_pending_head(int delta) { pending_heads_total_ += delta; }
+  /// A work counter at node `id` just reached zero: queue it for the
+  /// end-of-tick deschedule check.  Only these transition points can turn
+  /// node_has_work false, so checking the queued candidates is equivalent to
+  /// re-checking every scheduled router each cycle (duplicates are harmless —
+  /// the check is idempotent).
+  void note_maybe_idle(NodeId id) {
+    if (!full_sweep_) idle_checks_.push_back(id);
+  }
   /// Put router `id` on the active worklist (no-op if already there, or in
   /// full-sweep mode).  Called on injection, incoming flits, and i-ack
   /// posts.  During a tick the router is spliced into the current sweep at
@@ -141,6 +162,7 @@ private:
   sim::Engine& eng_;
   MeshShape mesh_;
   NocParams params_;
+  RouteCache route_cache_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<NetIface> ifaces_;
   DeliveryHandler deliver_;
@@ -153,6 +175,8 @@ private:
   std::int64_t live_flits_ = 0;      // flits resident in any buffer
   std::int64_t queued_worms_ = 0;    // queued or still streaming in
   std::int64_t pending_posts_ = 0;
+  std::int64_t cons_flits_total_ = 0;    // flits in consumption channels
+  std::int64_t pending_heads_total_ = 0; // heads awaiting allocation
   int rotate_ = 0;
 
   /// Visit every scheduled router in (id - start) mod n order — the order
@@ -170,6 +194,9 @@ private:
   /// Replaces a sorted worklist vector — waking is a bit-set, and each tick
   /// phase streams the words in rotated order instead of sorting.
   std::vector<std::uint64_t> sched_words_;
+  /// Routers whose work count hit zero this cycle (see note_maybe_idle);
+  /// drained and cleared by the end-of-tick deschedule pass.
+  std::vector<NodeId> idle_checks_;
 
   /// Precomputed "iack_bank.<n>" counter names (see trace_bank_occupancy).
   std::vector<std::string> bank_counter_names_;

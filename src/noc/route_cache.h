@@ -1,0 +1,114 @@
+// Memoized base-routing paths for unicast worms.
+//
+// Every protocol-level unicast (acks, data replies, recalls) re-derives its
+// hop sequence with append_unicast_path and then re-validates BRCP
+// conformance — but the path is a pure function of (algo, src, dst) on a
+// fixed mesh, and real traffic repeats (src, dst) pairs heavily (every
+// sharer acks to the same home).  The cache stores the hop vector keyed on
+// the packed triple; hits skip both path construction and the conformance
+// re-check (the path was validated when the entry was filled).
+//
+// Bounded open-addressed table with a short linear probe window and
+// second-chance (clock) eviction inside the window: a lookup sets the
+// entry's reference bit, an insert into a full window first spends the
+// reference bits of the resident entries and then replaces the first entry
+// without one.  Determinism: the cache only memoizes a pure function, so a
+// hit returns exactly the hops a miss would have built — simulated behaviour
+// is bit-identical with the cache on, off, or of any size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/routing.h"
+
+namespace mdw::noc {
+
+struct RouteCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class RouteCache {
+public:
+  /// `entries` bounds the table (rounded up to a power of two); 0 disables
+  /// the cache entirely (find() always misses, insert() is a no-op).
+  explicit RouteCache(int entries) {
+    if (entries <= 0) return;
+    std::size_t n = 1;
+    while (n < static_cast<std::size_t>(entries)) n <<= 1;
+    slots_.resize(n);
+    mask_ = n - 1;
+  }
+
+  [[nodiscard]] bool enabled() const { return !slots_.empty(); }
+  [[nodiscard]] const RouteCacheStats& stats() const { return stats_; }
+
+  /// The memoized hop sequence for (algo, src, dst), or nullptr on a miss.
+  [[nodiscard]] const std::vector<NodeId>* find(RoutingAlgo algo, NodeId src,
+                                                NodeId dst) {
+    if (!enabled()) return nullptr;
+    const std::uint64_t key = pack(algo, src, dst);
+    const std::size_t base = index_of(key);
+    for (std::size_t i = 0; i < kProbeWindow; ++i) {
+      Slot& s = slots_[(base + i) & mask_];
+      if (s.used && s.key == key) {
+        s.ref = true;
+        ++stats_.hits;
+        return &s.path;
+      }
+    }
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  void insert(RoutingAlgo algo, NodeId src, NodeId dst, const NodeId* hops,
+              std::size_t n) {
+    if (!enabled()) return;
+    const std::uint64_t key = pack(algo, src, dst);
+    const std::size_t base = index_of(key);
+    // Prefer an empty slot in the probe window; otherwise second-chance.
+    Slot* victim = nullptr;
+    for (std::size_t i = 0; i < kProbeWindow; ++i) {
+      Slot& s = slots_[(base + i) & mask_];
+      if (!s.used) {
+        victim = &s;
+        break;
+      }
+      if (victim == nullptr && !s.ref) victim = &s;
+      s.ref = false;  // spend the reference bit as the clock hand passes
+    }
+    if (victim == nullptr) victim = &slots_[base];  // all referenced: evict head
+    if (victim->used) ++stats_.evictions;
+    victim->used = true;
+    victim->ref = false;
+    victim->key = key;
+    victim->path.assign(hops, hops + n);
+  }
+
+private:
+  static constexpr std::size_t kProbeWindow = 4;
+
+  struct Slot {
+    bool used = false;
+    bool ref = false;
+    std::uint64_t key = 0;
+    std::vector<NodeId> path;
+  };
+
+  static std::uint64_t pack(RoutingAlgo algo, NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(algo) << 48) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 24) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+  }
+  [[nodiscard]] std::size_t index_of(std::uint64_t key) const {
+    return static_cast<std::size_t>(key * 0xff51afd7ed558ccdull >> 32) & mask_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  RouteCacheStats stats_;
+};
+
+} // namespace mdw::noc

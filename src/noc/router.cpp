@@ -33,12 +33,14 @@ int Router::find_free_cons_channel() const {
 }
 
 void Router::drain_consumption(Cycle now) {
-  if (active_work_ == 0) return;
+  if (cons_flits_ == 0) return;
   for (auto& ch : cons_) {
     if (ch.buf.empty() || ch.buf.front().arrival >= now) continue;
     const Flit f = ch.buf.front();
     ch.buf.pop_front();
+    --cons_flits_;
     --active_work_;
+    net_.on_cons_flit(-1);
     net_.on_flit_removed();
     ++stats_.flits_consumed;
     if (f.tail) {
@@ -51,6 +53,7 @@ void Router::drain_consumption(Cycle now) {
       net_.on_delivery(id_, w, fin, now);
     }
   }
+  if (active_work_ == 0) net_.note_maybe_idle(id_);
 }
 
 bool Router::try_allocate_head(InputVc& v, Cycle now) {
@@ -252,7 +255,10 @@ void Router::note_head_arrival(int port, int v) {
   const auto key = static_cast<std::uint16_t>((port << 8) | v);
   const auto it =
       std::lower_bound(pending_heads_.begin(), pending_heads_.end(), key);
-  if (it == pending_heads_.end() || *it != key) pending_heads_.insert(it, key);
+  if (it == pending_heads_.end() || *it != key) {
+    pending_heads_.insert(it, key);
+    net_.on_pending_head(1);
+  }
 }
 
 void Router::allocate(Cycle now) {
@@ -265,15 +271,22 @@ void Router::allocate(Cycle now) {
     assert(!v.routed && !v.buf.empty() && v.buf.front().head);
     if (v.buf.front().arrival < now && try_allocate_head(v, now)) {
       routed_mask_[port] |= 1u << vi;
+      ports_mask_ |= 1u << port;
       pending_heads_.erase(pending_heads_.begin() +
                            static_cast<std::ptrdiff_t>(i));
+      net_.on_pending_head(-1);
       continue;
     }
     ++i;  // not ready yet or blocked on a resource: retry next cycle
   }
 }
 
-void Router::move_one_flit(int port, int vidx, InputVc& v, Cycle now) {
+bool Router::try_move_flit(int port, int vidx, InputVc& v, Cycle now) {
+  // Feasibility checks and the move itself in one pass, so the flit, output
+  // link, and downstream VC are each loaded once (a separate can_move
+  // predicate re-read all of them on the move).
+  assert(v.routed);
+  if (v.buf.empty() || v.buf.front().arrival >= now) return false;
   const Flit f = v.buf.front();
 
   if (v.drain_to_bank) {
@@ -283,13 +296,19 @@ void Router::move_one_flit(int port, int vidx, InputVc& v, Cycle now) {
     if (f.tail && v.deposit_at_tail) net_.on_gather_deposit(id_, v.owner);
   } else if (v.final_here) {
     auto& ch = cons_[v.cons_ch];
+    if (ch.buf.full()) return false;
     v.buf.pop_front();
     ch.buf.push_back(Flit{f.head, f.tail, now});
+    ++cons_flits_;
+    net_.on_cons_flit(1);
     // flit stays resident (moved within this router): no live-flit change
   } else {
     OutLink& link = out_[v.out_port];
-    link.used_this_cycle = true;
+    if (link.used_cycle == now) return false;  // link bandwidth: 1 flit/cycle
     InputVc& dvc = link.nbr->vc(link.nbr_port, v.out_vc);
+    if (dvc.buf.full()) return false;
+    if (v.deliver_here && cons_[v.cons_ch].buf.full()) return false;
+    link.used_cycle = now;
     v.buf.pop_front();
     dvc.buf.push_back(Flit{f.head, f.tail, now});
     --active_work_;
@@ -305,7 +324,9 @@ void Router::move_one_flit(int port, int vidx, InputVc& v, Cycle now) {
     if (v.deliver_here) {
       auto& ch = cons_[v.cons_ch];
       ch.buf.push_back(Flit{f.head, f.tail, now});
+      ++cons_flits_;
       ++active_work_;
+      net_.on_cons_flit(1);
       net_.on_flit_copied();
       if (f.tail) ++net_.stats().absorb_deliveries;
     }
@@ -316,31 +337,33 @@ void Router::move_one_flit(int port, int vidx, InputVc& v, Cycle now) {
     v.owner = nullptr;
     v.reset_route();
     routed_mask_[port] &= ~(1u << vidx);
+    if (routed_mask_[port] == 0) ports_mask_ &= ~(1u << port);
   }
-}
-
-bool Router::can_move(const InputVc& v, Cycle now) const {
-  if (!v.routed || v.buf.empty() || v.buf.front().arrival >= now) return false;
-  if (v.drain_to_bank) return true;
-  if (v.final_here) {
-    return !cons_[v.cons_ch].buf.full();
-  }
-  const OutLink& link = out_[v.out_port];
-  if (link.used_this_cycle) return false;
-  const InputVc& dvc =
-      const_cast<Router*>(link.nbr)->vc(link.nbr_port, v.out_vc);
-  if (dvc.buf.full()) return false;
-  if (v.deliver_here && cons_[v.cons_ch].buf.full()) return false;
+  if (active_work_ == 0) net_.note_maybe_idle(id_);
   return true;
 }
 
 void Router::traverse(Cycle now) {
-  for (auto& link : out_) link.used_this_cycle = false;
   if (active_work_ == 0) return;
-  for (int pi = 0; pi < kNumPorts; ++pi) {
-    const int port = (rr_port_ + pi) % kNumPorts;
+  if (ports_mask_ == 0) {  // flits present but none routed: no-op sweep
+    rr_port_ = rr_port_ + 1 == kNumPorts ? 0 : rr_port_ + 1;
+    return;
+  }
+  // Iterate only the ports holding a routed worm, rotated by the round-robin
+  // pointer — the same (rr_port_ + pi) mod kNumPorts visit order as a full
+  // port scan, with the (typically three or four) idle ports skipped.
+  const int pr = rr_port_;
+  std::uint32_t prot =
+      pr == 0 ? ports_mask_
+              : ((ports_mask_ >> pr) | (ports_mask_ << (kNumPorts - pr))) &
+                    ((1u << kNumPorts) - 1);
+  while (prot != 0) {
+    const int poff = std::countr_zero(prot);
+    prot &= prot - 1;
+    int port = pr + poff;
+    if (port >= kNumPorts) port -= kNumPorts;
     const std::uint32_t mask = routed_mask_[port];
-    if (mask == 0) continue;  // no routed worm on this port
+    if (mask == 0) continue;  // tail left during this sweep
     const int nv = num_vcs(port);
     const int base = rr_vc_[port];
     // Only routed VCs can move a flit; visiting their mask bits rotated by
@@ -354,15 +377,14 @@ void Router::traverse(Cycle now) {
       int vidx = base + off;
       if (vidx >= nv) vidx -= nv;
       InputVc& v = vcs_[port][vidx];
-      if (can_move(v, now)) {
-        move_one_flit(port, vidx, v, now);
-        rr_vc_[port] = (vidx + 1) % nv;
+      if (try_move_flit(port, vidx, v, now)) {
+        rr_vc_[port] = vidx + 1 == nv ? 0 : vidx + 1;
         break;  // one flit per input port per cycle
       }
       rot &= rot - 1;
     }
   }
-  rr_port_ = (rr_port_ + 1) % kNumPorts;
+  rr_port_ = rr_port_ + 1 == kNumPorts ? 0 : rr_port_ + 1;
 }
 
 bool Router::busy() const { return active_work_ > 0; }

@@ -42,6 +42,11 @@ struct NocParams {
   int cons_buffer_flits = 2;       // consumption channel buffer depth
   int iack_entries = 4;            // i-ack buffer entries per interface
 
+  /// Bound on the memoized unicast-route table (noc::RouteCache, owned by
+  /// the Network); 0 disables memoization.  Purely a simulator-speed knob:
+  /// routing is deterministic, so results are bit-identical at any setting.
+  int route_cache_entries = 4096;
+
   /// Differential-testing escape hatch: tick every router every cycle (the
   /// original O(W*H) sweep) instead of only the active-region worklist.
   /// Also enabled by the MDW_FULL_SWEEP environment variable.  Both modes
@@ -122,7 +127,10 @@ private:
   struct OutLink {
     Router* nbr = nullptr;
     int nbr_port = -1;  // input port index at the neighbour
-    bool used_this_cycle = false;
+    /// Cycle stamp of the last flit sent over this link (physical-channel
+    /// bandwidth gate).  Comparing against `now` replaces a per-cycle
+    /// used-this-cycle flag reset across all links of all routers.
+    Cycle used_cycle = ~Cycle{0};
   };
 
   [[nodiscard]] InputVc& vc(int port, int v) { return vcs_[port][v]; }
@@ -134,8 +142,9 @@ private:
   [[nodiscard]] std::pair<int, int> vc_range(int port, VNet vnet) const;
 
   bool try_allocate_head(InputVc& v, Cycle now);
-  [[nodiscard]] bool can_move(const InputVc& v, Cycle now) const;
-  void move_one_flit(int port, int vidx, InputVc& v, Cycle now);
+  /// Move one flit out of routed VC `v` if its resources permit this cycle;
+  /// returns whether a flit moved (checks and move fused in one pass).
+  bool try_move_flit(int port, int vidx, InputVc& v, Cycle now);
   int find_free_cons_channel() const;
 
   /// A head flit was pushed into vcs_[port][v]: register it for allocation.
@@ -155,6 +164,10 @@ private:
   /// Flits resident in this router (input VCs + consumption channels); used
   /// to skip idle routers cheaply.
   int active_work_ = 0;
+  /// Flits buffered in the consumption channels only: lets drain_consumption
+  /// skip the channel scan on the (common) cycles where the router has
+  /// in-transit flits but nothing to hand to the node.
+  int cons_flits_ = 0;
   /// On the Network's active-router worklist (woken by injection, incoming
   /// flits, or pending i-ack posts; descheduled once fully drained).
   bool scheduled_ = false;
@@ -165,6 +178,9 @@ private:
   /// allocation).  Traversal scans only these bits — in round-robin order —
   /// instead of touching every VC's buffer state each cycle.
   std::array<std::uint32_t, kNumPorts> routed_mask_{};
+  /// Bit p set iff routed_mask_[p] != 0: traversal iterates only the ports
+  /// that can possibly move a flit (typically one or two of the five).
+  std::uint32_t ports_mask_ = 0;
   int rr_port_ = 0;  // round-robin pointers
   std::array<int, kNumPorts> rr_vc_{};
 };

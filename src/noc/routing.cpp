@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
+#include <cstdint>
+#include <vector>
 
 namespace mdw::noc {
 
@@ -85,12 +86,28 @@ bool legal_turn(RoutingAlgo algo, Dir from, Dir to) {
 bool is_conformant_path(RoutingAlgo algo, const MeshShape& mesh,
                         std::span<const NodeId> path) {
   if (path.size() < 2) return true;
-  std::set<std::pair<NodeId, NodeId>> used_channels;
+  // Duplicate-channel detection via an epoch-stamped per-channel table
+  // (index = node * 4 + direction): O(hops) with no per-call allocation.
+  // This runs on every worm the planner builds (the well-formedness asserts
+  // are kept in release builds), so a node-allocating set here was hot.
+  static thread_local std::vector<std::uint32_t> channel_epoch;
+  static thread_local std::uint32_t epoch = 0;
+  const std::size_t channels =
+      static_cast<std::size_t>(mesh.num_nodes()) * kNumLinkDirs;
+  if (channel_epoch.size() < channels) channel_epoch.resize(channels, 0);
+  if (++epoch == 0) {  // stamp wrap: invalidate everything once
+    std::fill(channel_epoch.begin(), channel_epoch.end(), 0);
+    epoch = 1;
+  }
   Dir prev = Dir::Local;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     if (!mesh.adjacent(path[i], path[i + 1])) return false;
-    if (!used_channels.insert({path[i], path[i + 1]}).second) return false;
     const Dir d = mesh.step_dir(path[i], path[i + 1]);
+    auto& stamp = channel_epoch[static_cast<std::size_t>(path[i]) *
+                                    kNumLinkDirs +
+                                static_cast<std::size_t>(d)];
+    if (stamp == epoch) return false;  // channel already used by this path
+    stamp = epoch;
     if (i > 0 && !legal_turn(algo, prev, d)) return false;
     prev = d;
   }

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "noc/route_cache.h"
 #include "noc/routing.h"
 #include "noc/worm.h"
 
@@ -26,10 +27,13 @@ struct WormSizing {
   }
 };
 
+/// `routes` (optional) memoizes the hop sequence per (algo, src, dst): a hit
+/// skips base-routing path construction and conformance validation entirely.
 [[nodiscard]] WormPtr make_unicast(const MeshShape& mesh, RoutingAlgo algo,
                                    VNet vnet, NodeId src, NodeId dst,
                                    int length_flits, TxnId txn,
-                                   std::shared_ptr<const Payload> payload);
+                                   std::shared_ptr<const Payload> payload,
+                                   RouteCache* routes = nullptr);
 
 /// Dynamic adaptive unicast: the path is chosen hop by hop inside the
 /// routers, among the directions `algo` permits, by downstream congestion.
@@ -48,6 +52,17 @@ struct WormSizing {
                                      std::vector<DestSpec> dests,
                                      int length_flits, TxnId txn,
                                      std::shared_ptr<const Payload> payload);
+
+/// Instantiate a worm from a previously validated blueprint (the PlanCache
+/// hit path): identical to make_multidest except that path/dest conformance
+/// is NOT re-checked — the blueprint was validated when it was first built.
+[[nodiscard]] WormPtr make_from_blueprint(WormKind kind, VNet vnet,
+                                          const NodeId* path,
+                                          std::size_t path_len,
+                                          const DestSpec* dests,
+                                          std::size_t num_dests,
+                                          int length_flits, TxnId txn,
+                                          std::shared_ptr<const Payload> payload);
 
 /// Validation used by make_multidest and the scheme unit tests.
 [[nodiscard]] bool worm_is_well_formed(const MeshShape& mesh, RoutingAlgo algo,

@@ -64,20 +64,20 @@ TEST_P(PlannerProperties, WormsAreConformantAndCoverSharersExactlyOnce) {
     }
 
     // Role completeness.
-    ASSERT_EQ(plan.directive->roles.size(), sharers.size());
+    ASSERT_EQ(plan.directive->roles().size(), sharers.size());
     int initiators = 0;
     for (NodeId s : sharers) {
-      ASSERT_TRUE(plan.directive->roles.count(s));
-      if (plan.directive->roles.at(s) == SharerRole::LaunchGather) {
+      ASSERT_TRUE(plan.directive->roles().count(s));
+      if (plan.directive->roles().at(s) == SharerRole::LaunchGather) {
         ++initiators;
-        ASSERT_TRUE(plan.directive->gather_of.count(s));
+        ASSERT_TRUE(plan.directive->gather_of().count(s));
       }
     }
     EXPECT_EQ(initiators,
-              static_cast<int>(plan.directive->gathers.size()));
+              static_cast<int>(plan.directive->gathers().size()));
 
     // Gather blueprints start at their initiator.
-    for (const auto& g : plan.directive->gathers) {
+    for (const auto& g : plan.directive->gathers()) {
       EXPECT_EQ(g.path.front(), g.initiator);
       EXPECT_FALSE(g.dests.empty());
     }
@@ -91,7 +91,7 @@ TEST_P(PlannerProperties, WormsAreConformantAndCoverSharersExactlyOnce) {
       case Framework::MiUa:
         EXPECT_LE(plan.request_worms.size(), sharers.size());
         EXPECT_EQ(plan.expected_ack_messages, d);
-        EXPECT_TRUE(plan.directive->gathers.empty());
+        EXPECT_TRUE(plan.directive->gathers().empty());
         break;
       case Framework::MiMa:
         EXPECT_LE(plan.request_worms.size(), sharers.size());
@@ -177,8 +177,8 @@ TEST(Planner, GatherWormBuilderInstantiatesBlueprint) {
   const auto sharers = random_sharers(rng, mesh, home, 10);
   const auto plan =
       plan_invalidation(Scheme::EcCmCg, mesh, home, sharers, 42, sizing);
-  ASSERT_FALSE(plan.directive->gathers.empty());
-  const auto& bp = plan.directive->gathers.front();
+  ASSERT_FALSE(plan.directive->gathers().empty());
+  const auto& bp = plan.directive->gathers().front();
   const auto worm = build_gather_worm(bp, 42);
   EXPECT_EQ(worm->kind, noc::WormKind::Gather);
   EXPECT_EQ(worm->vnet, noc::VNet::Reply);

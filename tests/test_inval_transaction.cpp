@@ -68,9 +68,9 @@ struct TxnHarness {
     ASSERT_NE(dir, nullptr);
     ++invalidated;
     eng.schedule_after(cache_inval_delay, [this, where, dir] {
-      switch (dir->roles.at(where)) {
+      switch (dir->roles().at(where)) {
         case SharerRole::UnicastAck: {
-          const bool wf = dir->gathers.empty() &&
+          const bool wf = dir->gathers().empty() &&
                           false;  // routing chosen below by scheme family
           (void)wf;
           // Reply routing: YX for e-cube schemes; east-first (class 1) for
@@ -78,7 +78,7 @@ struct TxnHarness {
           // home lies on a path requiring east-first.  The harness uses YX
           // for all unicast acks (deterministic, deadlock-free).
           auto ack = noc::make_unicast(mesh, noc::RoutingAlgo::EcubeYX,
-                                       VNet::Reply, where, dir->home, 8,
+                                       VNet::Reply, where, dir->home(), 8,
                                        dir->txn, std::make_shared<AckPayload>());
           net.inject(ack);
           break;
@@ -87,7 +87,7 @@ struct TxnHarness {
           net.post_iack(where, dir->txn, 1);
           break;
         case SharerRole::LaunchGather: {
-          const auto& g = dir->gathers[dir->gather_of.at(where)];
+          const auto& g = dir->gathers()[dir->gather_of().at(where)];
           net.inject(build_gather_worm(g, dir->txn));
           break;
         }
@@ -235,12 +235,12 @@ TEST(TxnConcurrent, ManyOverlappingTransactionsAllComplete) {
     auto dir = std::dynamic_pointer_cast<const InvalDirective>(worm->payload);
     ASSERT_NE(dir, nullptr);
     eng.schedule_after(8, [&, where, dir] {
-      switch (dir->roles.at(where)) {
+      switch (dir->roles().at(where)) {
         case SharerRole::PostLocal:
           net.post_iack(where, dir->txn, 1);
           break;
         case SharerRole::LaunchGather:
-          net.inject(build_gather_worm(dir->gathers[dir->gather_of.at(where)],
+          net.inject(build_gather_worm(dir->gathers()[dir->gather_of().at(where)],
                                        dir->txn));
           break;
         default:

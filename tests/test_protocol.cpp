@@ -58,7 +58,7 @@ TEST_P(ProtocolScenarios, CleanReadMiss) {
   const auto* e = m->node(5).directory().find(a);
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->state, DirState::Shared);
-  EXPECT_TRUE(e->sharers.count(0));
+  EXPECT_TRUE(e->sharers.contains(0));
   settle();
 }
 
@@ -90,8 +90,8 @@ TEST_P(ProtocolScenarios, ReadAfterRemoteWriteRecallsData) {
   EXPECT_EQ(m->node(2).cache().lookup(a), LineState::Shared);
   const auto* e = m->node(7).directory().find(a);
   EXPECT_EQ(e->state, DirState::Shared);
-  EXPECT_TRUE(e->sharers.count(2));
-  EXPECT_TRUE(e->sharers.count(9));
+  EXPECT_TRUE(e->sharers.contains(2));
+  EXPECT_TRUE(e->sharers.contains(9));
   settle();
 }
 

@@ -115,6 +115,47 @@ TEST(Engine, TickablesRunWhileActive) {
   EXPECT_GE(t.ticks, 10);
 }
 
+TEST(Engine, EventScheduledAtCurrentCycleFiresBeforeJump) {
+  // An event due at exactly now() must run in the current cycle, not be
+  // skipped over by the idle fast-forward to a later event.
+  Engine e;
+  e.run_for(10);
+  ASSERT_EQ(e.now(), 10u);
+  bool flag = false;
+  bool far = false;
+  e.schedule_at(e.now(), [&] { flag = true; });
+  e.schedule_at(1'000'000, [&] { far = true; });
+  EXPECT_TRUE(e.run_until([&] { return flag; }, 50));
+  EXPECT_EQ(e.now(), 11u); // fired in cycle 10; no jump toward the far event
+  EXPECT_FALSE(far);
+}
+
+TEST(Engine, IdleJumpLandingExactlyOnDeadlineStopsFirst) {
+  // The fast-forward may land exactly on the cycle budget's boundary; the
+  // run must stop there with the event still pending, and a fresh budget
+  // must then pick the event up at the cycle it was due.
+  Engine e;
+  bool fired = false;
+  e.schedule_at(100, [&] { fired = true; });
+  EXPECT_FALSE(e.run_to_quiescence(100));
+  EXPECT_EQ(e.now(), 100u);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(e.run_to_quiescence(10));
+  EXPECT_TRUE(fired);
+  EXPECT_GE(e.now(), 101u);
+}
+
+TEST(Engine, PredicateFlippedInsideSkippedGapIsSeen) {
+  // run_until jumps over the idle gap, but only as far as the event that
+  // flips the predicate: the flip is observed the cycle after it fires,
+  // not at the run limit.
+  Engine e;
+  bool flag = false;
+  e.schedule_at(500, [&] { flag = true; });
+  EXPECT_TRUE(e.run_until([&] { return flag; }, 10'000));
+  EXPECT_EQ(e.now(), 501u);
+}
+
 TEST(Rng, Deterministic) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
