@@ -16,6 +16,10 @@
 //                               patterns invalidated over and over — the
 //                               cache-hit regime where the plan cache and
 //                               route cache serve almost every transaction.
+//   Stream/<k>x<k>              a zipfian synthetic workload stream replayed
+//                               through StreamRunner on every node at once —
+//                               the full-machine steady-state regime the
+//                               streaming workload engine sustains.
 //
 // Usage:
 //   bench_simspeed [--label=<s>] [--metrics-json=<path>] [--repeat=<n>]
@@ -38,6 +42,8 @@
 #include "dsm/machine.h"
 #include "noc/worm_builder.h"
 #include "sim/rng.h"
+#include "workload/generators.h"
+#include "workload/stream_runner.h"
 #include "workload/synthetic.h"
 
 using namespace mdw;
@@ -230,6 +236,47 @@ void BM_TxnSetup(benchmark::State& state, int mesh_k) {
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Full-machine streaming regime: every node issues from a zipfian
+/// generator stream at once, so the simulator sustains hundreds of in-flight
+/// coherence transactions — the workload engine's steady state.  The machine
+/// and source persist across iterations (warm caches, warm directories);
+/// each iteration replays a fresh reset of the same deterministic stream.
+void BM_Stream(benchmark::State& state, int mesh_k) {
+  dsm::SystemParams p;
+  p.mesh_w = p.mesh_h = mesh_k;
+  p.scheme = core::Scheme::EcCmHg;
+  dsm::Machine m(p);
+  workload::GenConfig cfg;
+  cfg.kind = workload::GenKind::Zipfian;
+  cfg.nprocs = m.num_nodes();
+  cfg.nblocks = 512;
+  cfg.ops_per_proc = 20;
+  cfg.seed = 23;
+  cfg.group = 8;
+  const auto src = workload::make_generator(cfg, m.network().mesh());
+  workload::StreamRunnerOptions opt;
+  opt.windowed = false;  // measure the replay engine, not the stats layer
+  std::uint64_t cycles = 0, hops = 0;
+  bool first = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!first) src->reset();
+    first = false;
+    const Cycle c0 = m.engine().now();
+    const std::uint64_t h0 = m.network().stats().link_flit_hops;
+    state.ResumeTiming();
+    workload::StreamRunner runner(m, *src, opt);
+    benchmark::DoNotOptimize(runner.run());
+    cycles += m.engine().now() - c0;
+    hops += m.network().stats().link_flit_hops - h0;
+  }
+  state.counters["sim_cycles_per_sec"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["flit_hops_per_sec"] =
+      benchmark::Counter(static_cast<double>(hops), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations());
+}
+
 /// Console output plus capture of the per-benchmark rate counters so main()
 /// can emit the --metrics-json trajectory point.
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -349,6 +396,11 @@ int main(int argc, char** argv) {
     const std::string name =
         "TxnSetup/" + std::to_string(mesh) + "x" + std::to_string(mesh);
     benchmark::RegisterBenchmark(name.c_str(), BM_TxnSetup, mesh);
+  }
+  for (int mesh : {16, 32}) {
+    const std::string name =
+        "Stream/" + std::to_string(mesh) + "x" + std::to_string(mesh);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Stream, mesh);
   }
 
   int bargc = static_cast<int>(args.size());

@@ -23,19 +23,24 @@ cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
 echo
-echo "=== release: -O3 build + bench_simspeed smoke (${REL_BUILD}) ==="
+echo "=== release: -O3 build + bench_simspeed + mdw_workload smoke (${REL_BUILD}) ==="
 cmake -B "$REL_BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$REL_BUILD" -j "$JOBS" --target bench_simspeed test_determinism
+cmake --build "$REL_BUILD" -j "$JOBS" \
+    --target bench_simspeed test_determinism mdw_workload_cli
 "$REL_BUILD"/tests/test_determinism
+"$REL_BUILD"/src/workload/mdw_workload --gen=zipfian --mesh=8x8 \
+    --ops=20000 --blocks=256 --warmup=1024
 "$REL_BUILD"/bench/bench_simspeed --benchmark_min_time=0.05 \
-    --benchmark_filter='SingleTxn/16x16/UI-UA|Burst/8x8'
+    --benchmark_filter='SingleTxn/16x16/UI-UA|Burst/8x8|Stream/16x16'
 python3 scripts/check_simspeed.py
 
 echo
-echo "=== sanitizers: ASan/UBSan build, obs + worm-pool tests (${SAN_BUILD}) ==="
+echo "=== sanitizers: ASan/UBSan build, obs + worm-pool + stream tests (${SAN_BUILD}) ==="
 cmake -B "$SAN_BUILD" -S . -DMDW_SANITIZE=address,undefined >/dev/null
-cmake --build "$SAN_BUILD" -j "$JOBS" --target test_obs_metrics test_worm_pool
-ctest --test-dir "$SAN_BUILD" -R 'obs|worm_pool' --output-on-failure
+cmake --build "$SAN_BUILD" -j "$JOBS" \
+    --target test_obs_metrics test_worm_pool test_stream test_synthetic
+ctest --test-dir "$SAN_BUILD" -R 'obs|worm_pool|stream|synthetic' \
+    --output-on-failure
 
 echo
 echo "=== sanitizers: UBSan build, full tier-1 test list (${UBSAN_BUILD}) ==="

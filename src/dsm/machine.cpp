@@ -69,6 +69,7 @@ void Machine::txn_finished(TxnId txn) {
                           "}");
   }
   if (record_txns_) stats_.records.push_back(it->second);
+  if (txn_observer_) txn_observer_(it->second);
   live_txns_.erase(it);
 }
 

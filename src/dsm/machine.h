@@ -2,6 +2,7 @@
 // plus machine-level metrics (invalidation-transaction latency, traffic).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -78,6 +79,14 @@ public:
   void txn_started(TxnId txn, const InvalTxnRecord& rec);
   void txn_finished(TxnId txn);
 
+  /// Per-transaction completion observer (rec.end is stamped before the
+  /// call).  One subscriber at a time; pass nullptr to detach.  Workload
+  /// runners use it to window invalidation latencies without recording the
+  /// full per-transaction vector (set_record_txns) at millions of txns.
+  void set_txn_observer(std::function<void(const InvalTxnRecord&)> fn) {
+    txn_observer_ = std::move(fn);
+  }
+
   /// True when no processor operation is pending anywhere.
   [[nodiscard]] bool all_idle() const;
 
@@ -100,6 +109,7 @@ private:
   std::vector<std::unique_ptr<Node>> nodes_;
   TxnId next_txn_ = 1;
   MachineStats stats_;
+  std::function<void(const InvalTxnRecord&)> txn_observer_;
   bool record_txns_ = false;
   std::unordered_map<TxnId, InvalTxnRecord> live_txns_;
 };

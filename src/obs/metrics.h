@@ -67,6 +67,10 @@ public:
   /// merged moments depend only on the operands (see sim::Sampler).
   bool merge_from(const HistogramMetric& o) { return h_.merge_from(o.h_); }
 
+  /// Same, from a raw sim::Histogram (collectors like obs::WindowedStats
+  /// accumulate off-registry and fold in at snapshot time).
+  bool merge_sim(const sim::Histogram& o) { return h_.merge_from(o); }
+
 private:
   sim::Histogram h_;
 };

@@ -5,33 +5,42 @@ namespace mdw::sweep {
 std::vector<SweepPoint> SweepGrid::expand() const {
   std::vector<SweepPoint> out;
   out.reserve(num_points());
-  for (std::size_t iv = 0; iv < variants.size(); ++iv) {
-    for (std::size_t ip = 0; ip < patterns.size(); ++ip) {
-      for (std::size_t ic = 0; ic < concurrency.size(); ++ic) {
-        for (std::size_t im = 0; im < meshes.size(); ++im) {
-          for (std::size_t is = 0; is < sharers.size(); ++is) {
-            for (std::size_t ix = 0; ix < schemes.size(); ++ix) {
-              SweepPoint pt;
-              pt.index = out.size();
-              pt.scheme = schemes[ix];
-              pt.mesh = meshes[im];
-              pt.d = sharers[is] <= 0 ? meshes[im] : sharers[is];
-              pt.pattern = patterns[ip];
-              pt.concurrent = concurrency[ic];
-              pt.rounds = rounds;
-              pt.repetitions = repetitions;
-              pt.params = variants[iv].params;
-              pt.params.mesh_w = pt.params.mesh_h = pt.mesh;
-              pt.params.scheme = pt.scheme;
-              pt.i_variant = iv;
-              pt.i_pattern = ip;
-              pt.i_concurrency = ic;
-              pt.i_mesh = im;
-              pt.i_sharers = is;
-              pt.i_scheme = ix;
-              pt.seed = seed_fn ? seed_fn(*this, pt)
-                                : derive_point_seed(base_seed, pt.index);
-              out.push_back(pt);
+  for (std::size_t ig = 0; ig < gens.size(); ++ig) {
+    for (std::size_t iv = 0; iv < variants.size(); ++iv) {
+      for (std::size_t ip = 0; ip < patterns.size(); ++ip) {
+        for (std::size_t ic = 0; ic < concurrency.size(); ++ic) {
+          for (std::size_t im = 0; im < meshes.size(); ++im) {
+            for (std::size_t is = 0; is < sharers.size(); ++is) {
+              for (std::size_t ix = 0; ix < schemes.size(); ++ix) {
+                SweepPoint pt;
+                pt.index = out.size();
+                pt.scheme = schemes[ix];
+                pt.mesh = meshes[im];
+                pt.d = sharers[is] <= 0 ? meshes[im] : sharers[is];
+                pt.pattern = patterns[ip];
+                pt.concurrent = concurrency[ic];
+                pt.rounds = rounds;
+                pt.repetitions = repetitions;
+                pt.params = variants[iv].params;
+                pt.params.mesh_w = pt.params.mesh_h = pt.mesh;
+                pt.params.scheme = pt.scheme;
+                pt.gen = gens[ig];
+                if (pt.gen != workload::GenKind::None) {
+                  pt.gen_ops = gen_ops_per_proc;
+                  pt.gen_warmup = gen_warmup_accesses;
+                  pt.gen_blocks = gen_blocks;
+                }
+                pt.i_gen = ig;
+                pt.i_variant = iv;
+                pt.i_pattern = ip;
+                pt.i_concurrency = ic;
+                pt.i_mesh = im;
+                pt.i_sharers = is;
+                pt.i_scheme = ix;
+                pt.seed = seed_fn ? seed_fn(*this, pt)
+                                  : derive_point_seed(base_seed, pt.index);
+                out.push_back(pt);
+              }
             }
           }
         }

@@ -17,6 +17,7 @@
 
 #include "core/scheme.h"
 #include "dsm/params.h"
+#include "workload/generators.h"
 #include "workload/synthetic.h"
 
 namespace mdw::sweep {
@@ -24,13 +25,11 @@ namespace mdw::sweep {
 /// SplitMix64 over (base_seed, index): the default per-point seed rule.
 /// Distinct indices give uncorrelated seeds; the result depends only on the
 /// two inputs, so per-point streams are independent of worker count and
-/// execution order.
+/// execution order.  The same rule (sim::split_seed) derives per-processor
+/// streams inside the workload generators.
 [[nodiscard]] constexpr std::uint64_t derive_point_seed(std::uint64_t base_seed,
                                                         std::uint64_t index) {
-  std::uint64_t z = base_seed + 0x9E3779B97F4A7C15ull * (index + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  return sim::split_seed(base_seed, index);
 }
 
 /// A named dsm::SystemParams override (e.g. {"adaptive", params-with-
@@ -57,15 +56,26 @@ struct SweepPoint {
   std::uint64_t seed = 0;
   dsm::SystemParams params{};  // variant base with mesh/scheme applied
 
-  std::size_t i_variant = 0, i_pattern = 0, i_concurrency = 0, i_mesh = 0,
-              i_sharers = 0, i_scheme = 0;
+  /// Streaming-workload mode (gen != None): the point replays a synthetic
+  /// generator stream via StreamRunner instead of the controlled
+  /// invalidation harnesses.  `d` becomes the accessor-group size and
+  /// `pattern` the group placement geometry.
+  workload::GenKind gen = workload::GenKind::None;
+  std::uint64_t gen_ops = 0;     // ops per processor
+  std::uint64_t gen_warmup = 0;  // warmup accesses before steady state
+  std::uint32_t gen_blocks = 0;  // shared-block pool size
+
+  std::size_t i_gen = 0, i_variant = 0, i_pattern = 0, i_concurrency = 0,
+              i_mesh = 0, i_sharers = 0, i_scheme = 0;
 };
 
-/// Axis declaration.  expand() walks the cross product with variant
-/// outermost and scheme innermost:
-///   variant > pattern > concurrency > mesh > sharers > scheme
+/// Axis declaration.  expand() walks the cross product with the generator
+/// axis outermost and scheme innermost:
+///   gen > variant > pattern > concurrency > mesh > sharers > scheme
 /// so a table row (one d or mesh value) is a contiguous run of scheme
-/// columns, matching the bench table layout.
+/// columns, matching the bench table layout.  The default gens axis is the
+/// singleton {None} (controlled-invalidation mode), which keeps the legacy
+/// 6-axis flat_index valid for every pre-existing grid.
 struct SweepGrid {
   std::vector<core::Scheme> schemes{std::begin(core::kAllSchemes),
                                     std::end(core::kAllSchemes)};
@@ -75,9 +85,14 @@ struct SweepGrid {
       workload::SharerPattern::Uniform};
   std::vector<int> concurrency{0};  // 0 = single-transaction mode
   std::vector<ParamsVariant> variants{ParamsVariant{}};
+  std::vector<workload::GenKind> gens{workload::GenKind::None};
   int rounds = 3;  // hot-spot rounds for concurrent > 0 points
   int repetitions = 8;
   std::uint64_t base_seed = 1;
+  // Streaming-point knobs (gen != None), copied onto every stream point.
+  std::uint64_t gen_ops_per_proc = 200;
+  std::uint64_t gen_warmup_accesses = 2048;
+  std::uint32_t gen_blocks = 512;
 
   /// Optional seed rule override, evaluated on the otherwise-complete point
   /// (seed not yet set).  Must depend only on the point's coordinates.  The
@@ -86,18 +101,22 @@ struct SweepGrid {
   std::uint64_t (*seed_fn)(const SweepGrid&, const SweepPoint&) = nullptr;
 
   [[nodiscard]] std::size_t num_points() const {
-    return variants.size() * patterns.size() * concurrency.size() *
-           meshes.size() * sharers.size() * schemes.size();
+    return gens.size() * variants.size() * patterns.size() *
+           concurrency.size() * meshes.size() * sharers.size() *
+           schemes.size();
   }
 
   /// Flat index of a cell from its axis indices (expansion nest order).
-  [[nodiscard]] std::size_t flat_index(std::size_t i_variant,
+  [[nodiscard]] std::size_t flat_index(std::size_t i_gen,
+                                       std::size_t i_variant,
                                        std::size_t i_pattern,
                                        std::size_t i_concurrency,
                                        std::size_t i_mesh,
                                        std::size_t i_sharers,
                                        std::size_t i_scheme) const {
-    return ((((i_variant * patterns.size() + i_pattern) * concurrency.size() +
+    return (((((i_gen * variants.size() + i_variant) * patterns.size() +
+               i_pattern) *
+                  concurrency.size() +
               i_concurrency) *
                  meshes.size() +
              i_mesh) *
@@ -105,6 +124,19 @@ struct SweepGrid {
             i_sharers) *
                schemes.size() +
            i_scheme;
+  }
+
+  /// Legacy 6-axis form: valid whenever the gens axis is singleton (every
+  /// controlled-invalidation grid), where the generator axis contributes
+  /// nothing to the index because it is outermost.
+  [[nodiscard]] std::size_t flat_index(std::size_t i_variant,
+                                       std::size_t i_pattern,
+                                       std::size_t i_concurrency,
+                                       std::size_t i_mesh,
+                                       std::size_t i_sharers,
+                                       std::size_t i_scheme) const {
+    return flat_index(0, i_variant, i_pattern, i_concurrency, i_mesh,
+                      i_sharers, i_scheme);
   }
 
   /// Cross-product expansion; out[i].index == i.

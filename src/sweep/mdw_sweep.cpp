@@ -1,6 +1,6 @@
-// mdw_sweep — run a named experiment grid (e3, e4, e5, e8) or an inline
-// axis spec across a thread pool, printing the classic bench tables and
-// (optionally) machine-readable per-point JSON.
+// mdw_sweep — run a named experiment grid (e3, e4, e5, e8, e10s) or an
+// inline axis spec across a thread pool, printing the classic bench tables
+// and (optionally) machine-readable per-point JSON.
 //
 //   mdw_sweep e4 --jobs=8
 //   mdw_sweep e8 --points-json=e8.json --metrics-json=e8-metrics.json
@@ -37,6 +37,14 @@ void usage(const char* argv0) {
       "  --mesh=K,...         mesh sizes k (k x k meshes; default 16)\n"
       "  --d=N,...            sharers per transaction; 0 means d = k\n"
       "  --pattern=P,...      uniform | cluster | same-column | same-row\n"
+      "  --gens=G,...         streaming generators (zipfian, read-mostly,\n"
+      "                       write-heavy, migratory, producer-consumer,\n"
+      "                       false-sharing); replaces the controlled-\n"
+      "                       invalidation harness with StreamRunner, with\n"
+      "                       --d as the accessor-group size\n"
+      "  --gen-ops=N          stream ops per processor (default 200)\n"
+      "  --gen-warmup=N       stream warmup accesses (default 2048)\n"
+      "  --gen-blocks=N       stream shared-block pool size (default 512)\n"
       "  --concurrent=N,...   concurrent transactions; 0 = isolated (default)\n"
       "  --rounds=N           hot-spot rounds (default 3)\n"
       "  --reps=N             repetitions per point (default 8)\n"
@@ -149,6 +157,26 @@ CliOptions parse_cli(int argc, char** argv) {
         }
         grid.patterns.push_back(p);
       }
+    } else if (flag_value(a, "--gens", v)) {
+      has_axes = true;
+      grid.gens.clear();
+      for (const std::string& name : split_csv(v)) {
+        workload::GenKind g;
+        if (!workload::gen_from_name(name, g)) {
+          die(argv[0], "unknown generator '" + name + "'");
+        }
+        grid.gens.push_back(g);
+      }
+    } else if (flag_value(a, "--gen-ops", v)) {
+      has_axes = true;
+      grid.gen_ops_per_proc = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag_value(a, "--gen-warmup", v)) {
+      has_axes = true;
+      grid.gen_warmup_accesses = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag_value(a, "--gen-blocks", v)) {
+      has_axes = true;
+      grid.gen_blocks =
+          static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (flag_value(a, "--concurrent", v)) {
       has_axes = true;
       grid.concurrency = parse_int_list(argv[0], "--concurrent", v);
@@ -188,16 +216,34 @@ CliOptions parse_cli(int argc, char** argv) {
   }
 
   if (!named) {
-    // Row axis: the axis that actually varies (concurrency > mesh > d).
-    if (grid.concurrency.size() > 1) {
+    // Row axis: the axis that actually varies (gens > concurrency > mesh
+    // > d).
+    if (grid.gens.size() > 1) {
+      opt.job.axis = sweep::RowAxis::Generator;
+    } else if (grid.concurrency.size() > 1) {
       opt.job.axis = sweep::RowAxis::Concurrency;
     } else if (grid.meshes.size() > 1) {
       opt.job.axis = sweep::RowAxis::Mesh;
     } else {
       opt.job.axis = sweep::RowAxis::Sharers;
     }
+    const bool stream = grid.gens.size() > 1 ||
+                        grid.gens[0] != workload::GenKind::None;
     const bool hotspot = grid.concurrency.size() > 1 || grid.concurrency[0] > 0;
-    if (hotspot) {
+    if (stream && hotspot) {
+      die(argv[0], "--gens and --concurrent > 0 are mutually exclusive "
+                   "(stream points replay generators, not hot-spot rounds)");
+    }
+    if (stream) {
+      opt.job.metrics = {
+          {"steady inval latency (cycles)",
+           +[](const sweep::PointResult& r) { return r.m.inval_latency; }, 1},
+          {"steady accesses per kcycle",
+           +[](const sweep::PointResult& r) { return r.accesses_per_kcycle; },
+           1},
+          {"steady inval txns per kcycle",
+           +[](const sweep::PointResult& r) { return r.txns_per_kcycle; }, 1}};
+    } else if (hotspot) {
       opt.job.metrics = {
           {"mean inval latency (cycles)",
            +[](const sweep::PointResult& r) { return r.m.inval_latency; }, 1},
@@ -244,6 +290,7 @@ int main(int argc, char** argv) {
   // pivot cleanly.
   const bool pivotable =
       grid.variants.size() == 1 && grid.patterns.size() == 1 &&
+      (opt.job.axis == sweep::RowAxis::Generator || grid.gens.size() == 1) &&
       (opt.job.axis == sweep::RowAxis::Concurrency ||
        grid.concurrency.size() == 1) &&
       (opt.job.axis == sweep::RowAxis::Mesh || grid.meshes.size() == 1) &&

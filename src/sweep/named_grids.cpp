@@ -10,6 +10,8 @@ double latency(const PointResult& r) { return r.m.inval_latency; }
 double messages(const PointResult& r) { return r.m.messages; }
 double traffic(const PointResult& r) { return r.m.traffic_flits; }
 double makespan(const PointResult& r) { return r.makespan; }
+double acc_rate(const PointResult& r) { return r.accesses_per_kcycle; }
+double txn_rate(const PointResult& r) { return r.txns_per_kcycle; }
 
 std::vector<NamedGrid> build_grids() {
   std::vector<NamedGrid> out;
@@ -78,6 +80,28 @@ std::vector<NamedGrid> build_grids() {
     g.axis = RowAxis::Concurrency;
     g.metrics = {{"mean inval latency (cycles)", latency, 1},
                  {"round makespan (cycles)", makespan, 1}};
+    out.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "e10s";
+    g.description = "steady-state streaming workloads: synthetic generator x "
+                    "scheme (16x16 mesh, group 8, 200 ops/proc after a "
+                    "2048-access warmup)";
+    g.grid.schemes = {core::Scheme::UiUa, core::Scheme::EcCmUa,
+                      core::Scheme::EcCmCg, core::Scheme::EcCmHg,
+                      core::Scheme::WfScSg};
+    g.grid.meshes = {16};
+    g.grid.sharers = {8};  // accessor-group size per block
+    g.grid.gens = {std::begin(workload::kAllGenKinds),
+                   std::end(workload::kAllGenKinds)};
+    g.grid.gen_ops_per_proc = 200;
+    g.grid.gen_warmup_accesses = 2048;
+    g.grid.gen_blocks = 512;
+    g.axis = RowAxis::Generator;
+    g.metrics = {{"steady inval latency (cycles)", latency, 1},
+                 {"steady accesses per kcycle", acc_rate, 1},
+                 {"steady inval txns per kcycle", txn_rate, 1}};
     out.push_back(std::move(g));
   }
   return out;

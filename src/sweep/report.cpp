@@ -11,6 +11,7 @@ analysis::Table pivot_by_scheme(
     const std::function<double(const PointResult&)>& metric, int precision) {
   assert(points.size() == results.size());
   assert(grid.variants.size() == 1 && grid.patterns.size() == 1);
+  assert(axis == RowAxis::Generator || grid.gens.size() == 1);
   assert(axis == RowAxis::Concurrency || grid.concurrency.size() == 1);
   assert(axis == RowAxis::Mesh || grid.meshes.size() == 1);
   assert(axis == RowAxis::Sharers || grid.sharers.size() == 1);
@@ -20,6 +21,7 @@ analysis::Table pivot_by_scheme(
     case RowAxis::Sharers: headers = {"d"}; break;
     case RowAxis::Mesh: headers = {"mesh", "d"}; break;
     case RowAxis::Concurrency: headers = {"concurrent"}; break;
+    case RowAxis::Generator: headers = {"generator"}; break;
   }
   for (core::Scheme s : grid.schemes) {
     headers.emplace_back(core::scheme_name(s));
@@ -28,12 +30,16 @@ analysis::Table pivot_by_scheme(
 
   const std::size_t rows = axis == RowAxis::Sharers ? grid.sharers.size()
                            : axis == RowAxis::Mesh  ? grid.meshes.size()
-                                                    : grid.concurrency.size();
+                           : axis == RowAxis::Concurrency
+                               ? grid.concurrency.size()
+                               : grid.gens.size();
   for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t ig = axis == RowAxis::Generator ? r : 0;
     const std::size_t ic = axis == RowAxis::Concurrency ? r : 0;
     const std::size_t im = axis == RowAxis::Mesh ? r : 0;
     const std::size_t is = axis == RowAxis::Sharers ? r : 0;
-    const SweepPoint& first = points[grid.flat_index(0, 0, ic, im, is, 0)];
+    const SweepPoint& first =
+        points[grid.flat_index(ig, 0, 0, ic, im, is, 0)];
     std::vector<std::string> row;
     switch (axis) {
       case RowAxis::Sharers: row = {std::to_string(first.d)}; break;
@@ -44,9 +50,12 @@ analysis::Table pivot_by_scheme(
       case RowAxis::Concurrency:
         row = {std::to_string(first.concurrent)};
         break;
+      case RowAxis::Generator:
+        row = {workload::gen_name(first.gen)};
+        break;
     }
     for (std::size_t ix = 0; ix < grid.schemes.size(); ++ix) {
-      const std::size_t i = grid.flat_index(0, 0, ic, im, is, ix);
+      const std::size_t i = grid.flat_index(ig, 0, 0, ic, im, is, ix);
       row.push_back(results[i].ran
                         ? analysis::Table::num(metric(results[i]), precision)
                         : "-");
@@ -69,8 +78,14 @@ void write_points_json(std::ostream& os, const std::vector<SweepPoint>& points,
        << ", \"d\": " << pt.d << ", \"pattern\": \""
        << workload::pattern_name(pt.pattern)
        << "\", \"concurrent\": " << pt.concurrent
-       << ", \"repetitions\": " << pt.repetitions << ", \"seed\": " << pt.seed
-       << ", \"ran\": " << (r.ran ? "true" : "false");
+       << ", \"repetitions\": " << pt.repetitions << ", \"seed\": " << pt.seed;
+    if (pt.gen != workload::GenKind::None) {
+      os << ", \"gen\": \"" << workload::gen_name(pt.gen)
+         << "\", \"gen_ops\": " << pt.gen_ops
+         << ", \"gen_warmup\": " << pt.gen_warmup
+         << ", \"gen_blocks\": " << pt.gen_blocks;
+    }
+    os << ", \"ran\": " << (r.ran ? "true" : "false");
     if (r.ran) {
       os << ", \"completed\": " << (r.completed ? "true" : "false")
          << ", \"inval_latency\": " << r.m.inval_latency
@@ -86,6 +101,11 @@ void write_points_json(std::ostream& os, const std::vector<SweepPoint>& points,
          << ", \"deferred_gathers\": " << r.m.deferred_gathers
          << ", \"makespan\": " << r.makespan
          << ", \"bank_blocked_cycles\": " << r.bank_blocked_cycles;
+      if (pt.gen != workload::GenKind::None) {
+        os << ", \"accesses_per_kcycle\": " << r.accesses_per_kcycle
+           << ", \"txns_per_kcycle\": " << r.txns_per_kcycle
+           << ", \"steady_accesses\": " << r.steady_accesses;
+      }
     }
     os << "}";
   }

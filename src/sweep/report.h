@@ -15,7 +15,8 @@ namespace mdw::sweep {
 
 /// Which grid axis supplies the table rows; schemes are always the columns.
 /// Mesh rows carry the paper's extra "d" column ("16x16", "16", ...).
-enum class RowAxis { Sharers, Mesh, Concurrency };
+/// Generator rows label streaming grids (one row per GenKind).
+enum class RowAxis { Sharers, Mesh, Concurrency, Generator };
 
 /// Pivot a report into the classic bench table: one row per axis value, one
 /// column per scheme, cells formatted with analysis::Table::num.  Every

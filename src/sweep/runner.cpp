@@ -8,10 +8,60 @@
 #include <mutex>
 #include <thread>
 
+#include "dsm/machine.h"
+#include "workload/generators.h"
+#include "workload/stream_runner.h"
+
 namespace mdw::sweep {
+
+namespace {
+
+/// Streaming point: replay a synthetic generator stream on a full machine
+/// and report the steady-state window (the harness behind the e10s grid).
+/// `d` is reinterpreted as the per-block accessor-group size and `pattern`
+/// as the group placement geometry; `repetitions`/`rounds` are unused.
+PointResult run_stream_point(const SweepPoint& pt,
+                             obs::MetricsRegistry& registry) {
+  PointResult out;
+  out.ran = true;
+
+  dsm::Machine m(pt.params, &registry);
+  workload::GenConfig cfg;
+  cfg.kind = pt.gen;
+  cfg.nprocs = m.num_nodes();
+  cfg.nblocks = pt.gen_blocks;
+  cfg.ops_per_proc = pt.gen_ops;
+  cfg.seed = pt.seed;
+  cfg.pattern = pt.pattern;
+  cfg.group = pt.d;
+  const auto src = workload::make_generator(cfg, m.network().mesh());
+
+  workload::StreamRunnerOptions opt;
+  opt.warmup_accesses = pt.gen_warmup;
+  workload::StreamRunner runner(m, *src, opt);
+  const workload::StreamResult r = runner.run();
+
+  out.completed = r.completed;
+  out.m.inval_latency = r.lat_mean;
+  out.m.inval_latency_p50 = r.lat_p50;
+  out.m.inval_latency_p90 = r.lat_p90;
+  out.m.inval_latency_p99 = r.lat_p99;
+  out.makespan = static_cast<double>(r.cycles);
+  out.accesses_per_kcycle = r.accesses_per_kcycle;
+  out.txns_per_kcycle = r.txns_per_kcycle;
+  out.steady_accesses = r.steady_accesses;
+  runner.snapshot_metrics(registry);
+  m.snapshot_metrics();
+  return out;
+}
+
+} // namespace
 
 PointResult run_point(const SweepPoint& pt, obs::MetricsRegistry& registry,
                       obs::LinkHeatmap& heatmap) {
+  if (pt.gen != workload::GenKind::None) {
+    return run_stream_point(pt, registry);
+  }
   PointResult out;
   out.ran = true;
   if (pt.concurrent == 0) {

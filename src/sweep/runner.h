@@ -24,14 +24,21 @@ namespace mdw::sweep {
 
 /// Outcome of one point.  Single-transaction points (concurrent == 0) fill
 /// `m` from analysis::measure_invalidations; hot-spot points map the
-/// HotspotMeasurement onto the shared fields and the hotspot-only extras.
+/// HotspotMeasurement onto the shared fields and the hotspot-only extras;
+/// streaming points (gen != None) replay a synthetic generator through
+/// StreamRunner and fill the latency fields from the steady-state window
+/// plus the stream throughput extras.
 struct PointResult {
   bool ran = false;        // false: skipped (cancelled before it started)
-  bool completed = true;   // false: a hot-spot round deadlocked in budget
+  bool completed = true;   // false: a hot-spot round / stream ran out of budget
   analysis::InvalMeasurement m{};
   // Hot-spot extras (zero in single-transaction mode).
   double makespan = 0;
   double bank_blocked_cycles = 0;
+  // Streaming extras (zero outside gen != None points).
+  double accesses_per_kcycle = 0;  // steady-state accesses per 1000 cycles
+  double txns_per_kcycle = 0;      // steady-state inval txns per 1000 cycles
+  std::uint64_t steady_accesses = 0;
 };
 
 /// Everything a sweep produces: index-aligned per-point results plus the

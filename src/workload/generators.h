@@ -1,0 +1,100 @@
+// Synthetic sharing-pattern stream generators.
+//
+// Each generator produces an endless-capacity (bounded only by
+// ops_per_proc) pull-based stream of block accesses whose *sharing
+// structure* — which processors touch which blocks, and how reads and
+// writes interleave — reproduces one of the classic DSM access archetypes:
+//
+//   zipfian            skewed block popularity (alias-table Zipf sampler),
+//                      mixed reads/writes — the web-serving / hot-object
+//                      steady state
+//   read-mostly        zipfian with a 5% write fraction
+//   write-heavy        zipfian with a 60% write fraction
+//   migratory          each block is read-modify-written by its accessor
+//                      group members in turn (lock-protected counter style)
+//   producer-consumer  one writer per block, the rest of its group re-reads
+//                      after every update — the paper's repeated
+//                      invalidation pattern at a controllable degree
+//   false-sharing      group members write *distinct words* of the same
+//                      block (word index in TraceOp::arg); the protocol
+//                      invalidates at block granularity, so traffic is all
+//                      coherence overhead
+//
+// Spatial composition: every block gets an accessor group placed by the
+// existing SharerPattern geometry (workload/synthetic.h) around the block's
+// home node, so the stream generators sweep the same spatial axes as the
+// paper's controlled invalidation experiments.
+//
+// Seed discipline: processor p draws from an Rng seeded
+// sim::split_seed(cfg.seed, p) — the same SplitMix64 sub-stream rule the
+// sweep grid uses for per-point seeds — so a sweep point and a standalone
+// run with the same seed produce identical per-proc streams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/geometry.h"
+#include "sim/rng.h"
+#include "workload/stream.h"
+#include "workload/synthetic.h"
+
+namespace mdw::workload {
+
+enum class GenKind : std::uint8_t {
+  None = 0,  // sentinel: "not a stream point" (sweep grids)
+  Zipfian,
+  ReadMostly,
+  WriteHeavy,
+  Migratory,
+  ProducerConsumer,
+  FalseSharing,
+};
+
+inline constexpr GenKind kAllGenKinds[] = {
+    GenKind::Zipfian,      GenKind::ReadMostly,       GenKind::WriteHeavy,
+    GenKind::Migratory,    GenKind::ProducerConsumer, GenKind::FalseSharing,
+};
+
+[[nodiscard]] const char* gen_name(GenKind k);
+bool gen_from_name(const std::string& name, GenKind& out);
+
+struct GenConfig {
+  GenKind kind = GenKind::Zipfian;
+  int nprocs = 0;                  // required: one logical proc per node
+  std::uint32_t nblocks = 4096;    // shared-block pool size
+  double zipf_alpha = 0.9;         // popularity skew (0 = uniform)
+  double write_fraction = 0.25;    // zipfian only; presets override
+  std::uint64_t ops_per_proc = 1000;
+  std::uint64_t seed = 1;
+  /// Spatial placement of each block's accessor group around its home.
+  SharerPattern pattern = SharerPattern::Uniform;
+  int group = 8;                   // accessor-group size per block
+  BlockAddr base_addr = 0x100000;  // disjoint from the app-trace regions
+};
+
+/// Walker alias-table sampler over a discrete distribution: O(n) build,
+/// O(1) draws (two uniform draws per sample), exact to double precision.
+/// The block-popularity sampler behind the zipfian generators.
+class AliasTable {
+public:
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Index in [0, size) with probability weight[i] / sum(weights).
+  [[nodiscard]] std::uint32_t sample(sim::Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+private:
+  std::vector<double> prob_;          // acceptance threshold per column
+  std::vector<std::uint32_t> alias_;  // fallback index per column
+};
+
+/// Build a generator; cfg.nprocs must be set (one proc per mesh node —
+/// `mesh` supplies the geometry the SharerPattern placement needs).
+[[nodiscard]] std::unique_ptr<StreamSource> make_generator(
+    const GenConfig& cfg, const noc::MeshShape& mesh);
+
+} // namespace mdw::workload

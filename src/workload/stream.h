@@ -1,0 +1,95 @@
+// Pull-based workload streams.
+//
+// A StreamSource hands out TraceOps one processor at a time, on demand —
+// nothing is materialized up front, so a source can drive millions of
+// coherence transactions through the machine in constant memory.  Recorded
+// application traces (workload/trace.h) plug in through TraceSource; the
+// synthetic generator family lives in workload/generators.h; both replay on
+// the cycle-level machine via StreamRunner (workload/stream_runner.h).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace mdw::workload {
+
+/// One per-processor operation stream, consumed destructively by the
+/// runner.  Implementations must be deterministic: the sequence of ops a
+/// call pattern produces depends only on the source's configuration (seed
+/// included), never on wall-clock time or cross-proc interleaving —
+/// `next(p, ...)` draws from processor p's private sub-stream.
+class StreamSource {
+public:
+  virtual ~StreamSource() = default;
+
+  [[nodiscard]] virtual int nprocs() const = 0;
+
+  /// Pull the next op for `proc`.  Returns false when the processor's
+  /// stream is exhausted (and writes nothing).
+  virtual bool next(int proc, TraceOp& out) = 0;
+
+  /// Rewind every processor's stream to the beginning; the subsequent op
+  /// sequence is identical to a fresh source with the same configuration.
+  virtual void reset() = 0;
+
+  /// Short label for reports ("zipfian", "trace:barnes", ...).
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Adapter: replay a materialized Trace as a stream (the bridge between the
+/// recorded-app world and the streaming engine — both sides of the binary
+/// trace format end up here).
+class TraceSource final : public StreamSource {
+public:
+  explicit TraceSource(const Trace& t, const char* label = "trace")
+      : t_(&t), label_(label),
+        pc_(static_cast<std::size_t>(t.nprocs), 0) {}
+
+  [[nodiscard]] int nprocs() const override { return t_->nprocs; }
+
+  bool next(int proc, TraceOp& out) override {
+    auto& stream = t_->per_proc[static_cast<std::size_t>(proc)];
+    if (pc_[static_cast<std::size_t>(proc)] >= stream.size()) return false;
+    out = stream[pc_[static_cast<std::size_t>(proc)]++];
+    return true;
+  }
+
+  void reset() override { std::fill(pc_.begin(), pc_.end(), 0); }
+
+  [[nodiscard]] const char* name() const override { return label_; }
+
+private:
+  const Trace* t_;
+  const char* label_;
+  std::vector<std::size_t> pc_;
+};
+
+/// Drain up to `max_ops_per_proc` ops per processor into a Trace (for
+/// saving a generated stream to the binary format, or for tests that want
+/// to inspect a generator's sequence).  Consumes the source; call reset()
+/// to rewind it afterwards.
+[[nodiscard]] inline Trace materialize(StreamSource& src,
+                                       std::size_t max_ops_per_proc) {
+  Trace t;
+  t.nprocs = src.nprocs();
+  t.per_proc.resize(static_cast<std::size_t>(t.nprocs));
+  for (int p = 0; p < t.nprocs; ++p) {
+    TraceOp op;
+    std::size_t n = 0;
+    while (n < max_ops_per_proc && src.next(p, op)) {
+      if (op.kind == OpKind::Barrier) {
+        t.num_barriers =
+            std::max(t.num_barriers, static_cast<int>(op.arg) + 1);
+      }
+      t.per_proc[static_cast<std::size_t>(p)].push_back(op);
+      ++n;
+    }
+  }
+  return t;
+}
+
+} // namespace mdw::workload

@@ -1,0 +1,142 @@
+#include "workload/stream_runner.h"
+
+#include <cassert>
+
+namespace mdw::workload {
+
+StreamRunner::StreamRunner(dsm::Machine& m, StreamSource& src,
+                           StreamRunnerOptions opt)
+    : m_(m), src_(src), opt_(opt),
+      win_(0, opt.window_cycles),
+      prog_(static_cast<std::size_t>(src.nprocs())) {
+  assert(src.nprocs() > 0);
+  assert(src.nprocs() <= m.num_nodes());
+  warmup_done_ = opt_.warmup_accesses == 0;
+}
+
+StreamRunner::~StreamRunner() {
+  if (observer_attached_) m_.set_txn_observer(nullptr);
+}
+
+StreamResult StreamRunner::run() {
+  if (opt_.windowed) {
+    // Window invalidation latencies as transactions complete; pre-warmup
+    // completions are dropped by the warmup_done_ gate, not by the
+    // windowing cutoff, so no pre-warmup state accumulates.
+    m_.set_txn_observer([this](const dsm::InvalTxnRecord& rec) {
+      if (warmup_done_) {
+        win_.record_txn(rec.end,
+                        static_cast<double>(rec.end - rec.start));
+      }
+    });
+    observer_attached_ = true;
+  }
+
+  const int n = src_.nprocs();
+  for (int p = 0; p < n; ++p) {
+    // Stagger the very first issue slightly so node 0 doesn't always win
+    // arbitration at cycle 0.
+    m_.engine().schedule_after(static_cast<Cycle>(p % 4),
+                               [this, p] { step(p); });
+  }
+  StreamResult r;
+  const Cycle t0 = m_.engine().now();
+  r.completed = m_.engine().run_until([&] { return done_procs_ == n; },
+                                      opt_.max_cycles);
+  // Let in-flight acknowledgments settle for accurate traffic counters.
+  (void)m_.engine().run_to_quiescence(1'000'000);
+  end_cycle_ = m_.engine().now();
+
+  if (observer_attached_) {
+    m_.set_txn_observer(nullptr);
+    observer_attached_ = false;
+  }
+
+  r.cycles = end_cycle_ - t0;
+  r.accesses = accesses_;
+  r.procs = prog_;
+  if (opt_.windowed && warmup_done_) {
+    r.warmup_end = win_.warmup_end();
+    r.steady_cycles = end_cycle_ > r.warmup_end ? end_cycle_ - r.warmup_end
+                                                : 0;
+    r.steady_accesses = win_.steady_accesses();
+    r.steady_txns = win_.steady_txns();
+    if (r.steady_cycles > 0) {
+      const double kc = static_cast<double>(r.steady_cycles) / 1000.0;
+      r.accesses_per_kcycle = static_cast<double>(r.steady_accesses) / kc;
+      r.txns_per_kcycle = static_cast<double>(r.steady_txns) / kc;
+    }
+    const sim::Histogram& lat = win_.steady_latency();
+    r.lat_mean = lat.sampler().mean();
+    r.lat_p50 = lat.quantile(0.50);
+    r.lat_p90 = lat.quantile(0.90);
+    r.lat_p99 = lat.quantile(0.99);
+    r.windows = win_.rows(end_cycle_);
+  }
+  return r;
+}
+
+void StreamRunner::snapshot_metrics(obs::MetricsRegistry& reg) const {
+  win_.snapshot_into(reg, end_cycle_);
+}
+
+void StreamRunner::step(int proc) {
+  TraceOp op;
+  if (!src_.next(proc, op)) {
+    prog_[static_cast<std::size_t>(proc)].done = true;
+    ++done_procs_;
+    return;
+  }
+  ++prog_[static_cast<std::size_t>(proc)].ops_retired;
+  switch (op.kind) {
+    case OpKind::Read:
+      ++accesses_;
+      m_.node(proc).read(op.addr,
+                         [this, proc](std::uint64_t) { on_access_done(proc); });
+      break;
+    case OpKind::Write:
+      ++accesses_;
+      m_.node(proc).write(op.addr, m_.engine().now(),
+                          [this, proc] { on_access_done(proc); });
+      break;
+    case OpKind::Think:
+      m_.engine().schedule_after(op.arg, [this, proc] { step(proc); });
+      break;
+    case OpKind::Barrier:
+      reach_barrier(proc, op.arg);
+      break;
+  }
+}
+
+void StreamRunner::on_access_done(int proc) {
+  ++completed_accesses_;
+  if (opt_.windowed) {
+    if (!warmup_done_) {
+      if (completed_accesses_ >= opt_.warmup_accesses) {
+        warmup_done_ = true;
+        win_.set_warmup_end(m_.engine().now());
+      }
+    } else {
+      win_.record_access(m_.engine().now());
+    }
+  }
+  m_.engine().schedule_after(opt_.think, [this, proc] { step(proc); });
+}
+
+void StreamRunner::reach_barrier(int proc, std::uint32_t id) {
+  assert(id == barrier_id_);
+  auto& pp = prog_[static_cast<std::size_t>(proc)];
+  pp.at_barrier = true;
+  pp.barrier_id = id;
+  if (++barrier_waiting_ < src_.nprocs()) return;
+  // Everyone arrived: release.  (The paper's focus is the invalidation
+  // machinery; the barrier itself is idealized — see DESIGN.md.)
+  barrier_waiting_ = 0;
+  ++barrier_id_;
+  for (int p = 0; p < src_.nprocs(); ++p) {
+    prog_[static_cast<std::size_t>(p)].at_barrier = false;
+    m_.engine().schedule_after(1, [this, p] { step(p); });
+  }
+}
+
+} // namespace mdw::workload

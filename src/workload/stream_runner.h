@@ -1,0 +1,89 @@
+// Replays a StreamSource on a dsm::Machine at scale: one logical processor
+// per node, sequentially-consistent issue, centralized barriers — the same
+// replay semantics as the original TraceRunner (which is now a thin wrapper
+// over this class) — plus a warmup cutoff and windowed steady-state
+// statistics for multi-million-transaction runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/machine.h"
+#include "obs/windowed.h"
+#include "workload/stream.h"
+#include "workload/trace_runner.h"
+
+namespace mdw::workload {
+
+struct StreamRunnerOptions {
+  /// Fixed computation time modelled between accesses (network cycles);
+  /// stands in for the instructions between memory ops.
+  Cycle think = 4;
+  /// Accesses to retire before steady-state collection starts (cold
+  /// caches, empty directories, plan/route caches filling).  0: no warmup,
+  /// every sample is steady-state.
+  std::uint64_t warmup_accesses = 0;
+  /// Steady-state window width (cycles).
+  Cycle window_cycles = 10'000;
+  /// Execution budget; a run that exhausts it reports completed == false
+  /// with per-proc progress for diagnosis.
+  Cycle max_cycles = 2'000'000'000;
+  /// Collect windowed stats (the txn observer + per-access bookkeeping).
+  /// TraceRunner turns this off to stay a pure replay.
+  bool windowed = true;
+};
+
+/// RunResult plus the steady-state view.  Throughputs are normalized per
+/// 1000 simulated cycles ("kcycle") so they are mesh- and length-comparable.
+struct StreamResult : RunResult {
+  Cycle warmup_end = 0;      // first steady-state cycle (0: warmup never completed)
+  Cycle steady_cycles = 0;   // cycles spent in steady state
+  std::uint64_t steady_accesses = 0;
+  std::uint64_t steady_txns = 0;          // invalidation transactions
+  double accesses_per_kcycle = 0;
+  double txns_per_kcycle = 0;
+  double lat_mean = 0;       // steady-state invalidation latency (cycles)
+  double lat_p50 = 0;
+  double lat_p90 = 0;
+  double lat_p99 = 0;
+  std::vector<obs::WindowRow> windows;    // per-window breakdown
+};
+
+class StreamRunner {
+public:
+  StreamRunner(dsm::Machine& m, StreamSource& src,
+               StreamRunnerOptions opt = {});
+  ~StreamRunner();  // detaches the machine's txn observer
+
+  StreamRunner(const StreamRunner&) = delete;
+  StreamRunner& operator=(const StreamRunner&) = delete;
+
+  /// Replay the source to exhaustion (or until the cycle budget runs out).
+  [[nodiscard]] StreamResult run();
+
+  /// Mirror the steady-state aggregates into a registry (counters
+  /// stream.steady_*, histograms stream.window_accesses /
+  /// stream.steady_inval_latency).  Call after run().
+  void snapshot_metrics(obs::MetricsRegistry& reg) const;
+
+private:
+  void step(int proc);
+  void on_access_done(int proc);
+  void reach_barrier(int proc, std::uint32_t id);
+
+  dsm::Machine& m_;
+  StreamSource& src_;
+  StreamRunnerOptions opt_;
+  obs::WindowedStats win_;
+  std::vector<ProcProgress> prog_;
+  int done_procs_ = 0;
+  int barrier_waiting_ = 0;
+  std::uint32_t barrier_id_ = 0;
+  std::size_t accesses_ = 0;         // issued reads + writes
+  std::uint64_t completed_accesses_ = 0;
+  bool warmup_done_ = false;
+  bool observer_attached_ = false;
+  Cycle end_cycle_ = 0;              // engine time when run() returned
+};
+
+} // namespace mdw::workload

@@ -92,9 +92,13 @@ std::vector<NodeId> make_sharers(sim::Rng& rng, const noc::MeshShape& mesh,
 
 Trace random_trace(int nprocs, int ops_per_proc, int nblocks,
                    double write_fraction, std::uint64_t seed) {
-  sim::Rng rng(seed);
   TraceBuilder tb(nprocs);
   for (int p = 0; p < nprocs; ++p) {
+    // One SplitMix64-derived sub-stream per processor (the same rule the
+    // sweep grid uses for per-point seeds), so processor p's stream is a
+    // function of (seed, p) alone — independent of nprocs and of any other
+    // processor's draws.
+    sim::Rng rng(sim::split_seed(seed, static_cast<std::uint64_t>(p)));
     for (int i = 0; i < ops_per_proc; ++i) {
       const BlockAddr a = rng.next_below(static_cast<std::uint64_t>(nblocks));
       if (rng.next_bool(write_fraction)) tb.write(p, a);

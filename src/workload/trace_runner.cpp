@@ -1,74 +1,47 @@
 #include "workload/trace_runner.h"
 
 #include <cassert>
+#include <sstream>
+
+#include "workload/stream_runner.h"
 
 namespace mdw::workload {
 
+std::string RunResult::describe_stalls() const {
+  if (completed) return {};
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    const ProcProgress& pp = procs[p];
+    if (pp.done) continue;
+    if (!first) os << "; ";
+    first = false;
+    os << "proc " << p << ": " << pp.ops_retired << " ops";
+    if (pp.at_barrier) os << ", at barrier " << pp.barrier_id;
+    else os << ", in flight";
+  }
+  return os.str();
+}
+
 TraceRunner::TraceRunner(dsm::Machine& m, const Trace& t, Cycle think)
-    : m_(m), t_(t), think_(think),
-      pc_(static_cast<std::size_t>(t.nprocs), 0),
-      at_barrier_(static_cast<std::size_t>(t.nprocs), false) {
+    : m_(m), t_(t), think_(think) {
   assert(t.nprocs <= m.num_nodes());
 }
 
 RunResult TraceRunner::run(Cycle max_cycles) {
-  for (int p = 0; p < t_.nprocs; ++p) {
-    // Stagger the very first issue slightly so node 0 doesn't always win
-    // arbitration at cycle 0.
-    m_.engine().schedule_after(static_cast<Cycle>(p % 4), [this, p] { step(p); });
-  }
+  TraceSource src(t_);
+  StreamRunnerOptions opt;
+  opt.think = think_;
+  opt.max_cycles = max_cycles;
+  opt.windowed = false;  // pure replay: no steady-state bookkeeping
+  StreamRunner runner(m_, src, opt);
+  StreamResult s = runner.run();
   RunResult r;
-  const Cycle t0 = m_.engine().now();
-  r.completed = m_.engine().run_until(
-      [&] { return done_procs_ == t_.nprocs; }, max_cycles);
-  // Let in-flight acknowledgments settle for accurate traffic counters.
-  (void)m_.engine().run_to_quiescence(1'000'000);
-  r.cycles = m_.engine().now() - t0;
-  r.accesses = accesses_;
+  r.cycles = s.cycles;
+  r.accesses = s.accesses;
+  r.completed = s.completed;
+  r.procs = std::move(s.procs);
   return r;
-}
-
-void TraceRunner::step(int proc) {
-  auto& stream = t_.per_proc[proc];
-  if (pc_[proc] >= stream.size()) {
-    ++done_procs_;
-    return;
-  }
-  const TraceOp op = stream[pc_[proc]++];
-  switch (op.kind) {
-    case OpKind::Read:
-      ++accesses_;
-      m_.node(proc).read(op.addr, [this, proc](std::uint64_t) {
-        m_.engine().schedule_after(think_, [this, proc] { step(proc); });
-      });
-      break;
-    case OpKind::Write:
-      ++accesses_;
-      m_.node(proc).write(op.addr, m_.engine().now(), [this, proc] {
-        m_.engine().schedule_after(think_, [this, proc] { step(proc); });
-      });
-      break;
-    case OpKind::Think:
-      m_.engine().schedule_after(op.arg, [this, proc] { step(proc); });
-      break;
-    case OpKind::Barrier:
-      reach_barrier(proc, op.arg);
-      break;
-  }
-}
-
-void TraceRunner::reach_barrier(int proc, std::uint32_t id) {
-  assert(id == barrier_id_);
-  at_barrier_[proc] = true;
-  if (++barrier_waiting_ < t_.nprocs) return;
-  // Everyone arrived: release.  (The paper's focus is the invalidation
-  // machinery; the barrier itself is idealized — see DESIGN.md.)
-  barrier_waiting_ = 0;
-  ++barrier_id_;
-  for (int p = 0; p < t_.nprocs; ++p) {
-    at_barrier_[p] = false;
-    m_.engine().schedule_after(1, [this, p] { step(p); });
-  }
 }
 
 } // namespace mdw::workload

@@ -1,9 +1,12 @@
 // Replays a Trace on a dsm::Machine: one logical processor per node (trace
 // processor i runs on mesh node i), sequentially-consistent issue (one
-// access at a time), centralized barriers.
+// access at a time), centralized barriers.  Implemented as a thin wrapper
+// over StreamRunner (workload/stream_runner.h) with a TraceSource — the
+// replay event sequence is identical to the original dedicated runner.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dsm/machine.h"
@@ -11,10 +14,25 @@
 
 namespace mdw::workload {
 
+/// Per-processor replay progress, filled in on every run (diagnoses
+/// timeouts: which procs finished, which are parked at a barrier, which
+/// are stuck mid-access).
+struct ProcProgress {
+  std::size_t ops_retired = 0;   // trace ops pulled and dispatched
+  bool done = false;             // stream exhausted
+  bool at_barrier = false;       // parked waiting on the barrier below
+  std::uint32_t barrier_id = 0;  // valid when at_barrier
+};
+
 struct RunResult {
   Cycle cycles = 0;              // total execution time
   std::size_t accesses = 0;      // reads + writes replayed
   bool completed = false;
+  std::vector<ProcProgress> procs;  // per-proc progress (timeout diagnosis)
+
+  /// One-line summary of stuck processors ("proc 3: 17 ops, at barrier 2;
+  /// ..."), empty when every processor completed.
+  [[nodiscard]] std::string describe_stalls() const;
 };
 
 class TraceRunner {
@@ -27,18 +45,9 @@ public:
   [[nodiscard]] RunResult run(Cycle max_cycles = 2'000'000'000);
 
 private:
-  void step(int proc);
-  void reach_barrier(int proc, std::uint32_t id);
-
   dsm::Machine& m_;
   const Trace& t_;
   Cycle think_;
-  std::vector<std::size_t> pc_;       // per-proc position in its stream
-  std::vector<bool> at_barrier_;
-  int done_procs_ = 0;
-  int barrier_waiting_ = 0;
-  std::uint32_t barrier_id_ = 0;
-  std::size_t accesses_ = 0;
 };
 
 } // namespace mdw::workload

@@ -53,6 +53,9 @@ void expect_identical(const sweep::PointResult& a, const sweep::PointResult& b,
   EXPECT_EQ(a.m.deferred_gathers, b.m.deferred_gathers) << "point " << i;
   EXPECT_EQ(a.makespan, b.makespan) << "point " << i;
   EXPECT_EQ(a.bank_blocked_cycles, b.bank_blocked_cycles) << "point " << i;
+  EXPECT_EQ(a.accesses_per_kcycle, b.accesses_per_kcycle) << "point " << i;
+  EXPECT_EQ(a.txns_per_kcycle, b.txns_per_kcycle) << "point " << i;
+  EXPECT_EQ(a.steady_accesses, b.steady_accesses) << "point " << i;
 }
 
 } // namespace
@@ -284,6 +287,100 @@ TEST(ThreadPoolRunner, CancelsOnFirstFailure) {
   EXPECT_FALSE(rep.results[1].ran);
   EXPECT_FALSE(rep.results[2].ran);
   EXPECT_FALSE(rep.results[3].ran);
+}
+
+TEST(SweepGrid, GeneratorAxisExpansion) {
+  sweep::SweepGrid g;
+  g.schemes = {core::Scheme::UiUa, core::Scheme::EcCmHg};
+  g.meshes = {4};
+  g.sharers = {4};
+  g.gens = {workload::GenKind::Zipfian, workload::GenKind::Migratory};
+  g.gen_ops_per_proc = 30;
+  g.gen_warmup_accesses = 64;
+  g.gen_blocks = 32;
+  g.base_seed = 5;
+  const auto points = g.expand();
+  ASSERT_EQ(points.size(), g.num_points());
+  ASSERT_EQ(points.size(), 4u);
+
+  // Generators are the outermost axis; scheme stays innermost.
+  EXPECT_EQ(points[0].gen, workload::GenKind::Zipfian);
+  EXPECT_EQ(points[1].gen, workload::GenKind::Zipfian);
+  EXPECT_EQ(points[2].gen, workload::GenKind::Migratory);
+  EXPECT_EQ(points[1].scheme, core::Scheme::EcCmHg);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    EXPECT_EQ(pt.gen_ops, 30u);
+    EXPECT_EQ(pt.gen_warmup, 64u);
+    EXPECT_EQ(pt.gen_blocks, 32u);
+    EXPECT_EQ(i, g.flat_index(pt.i_gen, pt.i_variant, pt.i_pattern,
+                              pt.i_concurrency, pt.i_mesh, pt.i_sharers,
+                              pt.i_scheme));
+  }
+
+  // The legacy 6-arg flat_index stays valid while gens is the {None}
+  // singleton (every pre-streaming caller).
+  sweep::SweepGrid legacy;
+  legacy.schemes = {core::Scheme::UiUa, core::Scheme::EcCmCg};
+  legacy.sharers = {2, 4};
+  const auto lp = legacy.expand();
+  for (std::size_t i = 0; i < lp.size(); ++i) {
+    EXPECT_EQ(lp[i].gen, workload::GenKind::None);
+    EXPECT_EQ(i, legacy.flat_index(lp[i].i_variant, lp[i].i_pattern,
+                                   lp[i].i_concurrency, lp[i].i_mesh,
+                                   lp[i].i_sharers, lp[i].i_scheme));
+  }
+}
+
+TEST(ThreadPoolRunner, StreamModeInvariance) {
+  // Streaming points (gen != None) must honour the same worker-count
+  // invariance as trace points: bit-identical per-point results and merged
+  // registries at any job count.
+  sweep::SweepGrid g;
+  g.schemes = {core::Scheme::UiUa, core::Scheme::EcCmHg};
+  g.meshes = {4};
+  g.sharers = {4};
+  g.gens = {workload::GenKind::Zipfian, workload::GenKind::ProducerConsumer};
+  g.gen_ops_per_proc = 30;
+  g.gen_warmup_accesses = 64;
+  g.gen_blocks = 32;
+  g.base_seed = 11;
+  const auto points = g.expand();
+  ASSERT_EQ(points.size(), 4u);
+
+  sweep::RunnerOptions one, four;
+  one.jobs = 1;
+  four.jobs = 4;
+  const auto a = sweep::ThreadPoolRunner(one).run(points);
+  const auto b = sweep::ThreadPoolRunner(four).run(points);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(a.results[i].ran);
+    EXPECT_TRUE(a.results[i].completed);
+    EXPECT_GT(a.results[i].steady_accesses, 0u);
+    EXPECT_GT(a.results[i].accesses_per_kcycle, 0.0);
+    expect_identical(a.results[i], b.results[i], i);
+  }
+  EXPECT_EQ(registry_json(a.metrics), registry_json(b.metrics));
+  ASSERT_NE(a.metrics.find_counter("stream.steady_accesses"), nullptr);
+  EXPECT_GT(a.metrics.find_counter("stream.steady_accesses")->value(), 0u);
+
+  // e10s is registered and pivots on the generator axis.
+  const sweep::NamedGrid* e10s = sweep::named_grid("e10s");
+  ASSERT_NE(e10s, nullptr);
+  EXPECT_EQ(e10s->axis, sweep::RowAxis::Generator);
+  EXPECT_EQ(e10s->grid.gens.size(), 6u);
+
+  // Generator-axis pivot: one row per generator, labelled by name.
+  const analysis::Table t = sweep::pivot_by_scheme(
+      g, points, a.results, sweep::RowAxis::Generator,
+      [](const sweep::PointResult& r) { return r.accesses_per_kcycle; });
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("zipfian"), std::string::npos);
+  EXPECT_NE(os.str().find("producer-consumer"), std::string::npos);
+  EXPECT_NE(os.str().find("generator"), std::string::npos);
 }
 
 TEST(SweepReportOut, PivotAndJson) {
