@@ -23,20 +23,28 @@
 //
 // Usage:
 //   bench_simspeed [--label=<s>] [--metrics-json=<path>] [--repeat=<n>]
-//                  [gbench flags]
+//                  [--shards=<n>] [gbench flags]
 //
 // --repeat=N (default 1) runs every scenario N times and reports the median
 // of each rate counter, which is what lands in --metrics-json; use it on
 // noisy boxes where one run can catch a scheduling hiccup.
 //
-// --metrics-json= writes one trajectory point: {"label", "mode", "results":
-// [{name, sim_cycles_per_sec, flit_hops_per_sec}]}.  Points are accumulated
-// by hand in BENCH_simspeed.json (see README "Simulator throughput").
+// --shards=N runs every scenario on the sharded parallel cycle kernel
+// (DESIGN.md section 14; bit-identical results, so the simulated cycle and
+// hop counts match the sequential kernel exactly — only wall time changes).
+//
+// --metrics-json= writes one trajectory point: {"label", "mode", "shards",
+// "cpus", "results": [{name, sim_cycles_per_sec, flit_hops_per_sec}]}.
+// Points are accumulated by hand in BENCH_simspeed.json (see README
+// "Simulator throughput"); check_simspeed.py compares same-shards points for
+// regressions and same-label shards=1 vs shards=N pairs for parallel
+// efficiency (the latter only when "cpus" shows real hardware parallelism).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dsm/machine.h"
@@ -49,6 +57,9 @@
 using namespace mdw;
 
 namespace {
+
+/// Cycle-kernel shard count applied to every scenario (--shards=N).
+int g_shards = 1;
 
 /// Prime `sharers` on block `a` so the next write triggers one invalidation
 /// transaction of degree d.  Mirrors analysis::measure_invalidations.
@@ -64,6 +75,7 @@ void prime(dsm::Machine& m, BlockAddr a, const std::vector<NodeId>& sharers) {
 void BM_SingleTxn(benchmark::State& state, int mesh_k, core::Scheme scheme) {
   dsm::SystemParams p;
   p.mesh_w = p.mesh_h = mesh_k;
+  p.noc.shards = g_shards;
   p.scheme = scheme;
   dsm::Machine m(p);
   sim::Rng rng(7);
@@ -100,7 +112,9 @@ void BM_SingleTxn(benchmark::State& state, int mesh_k, core::Scheme scheme) {
 void BM_Burst(benchmark::State& state, int mesh_k) {
   sim::Engine eng;
   const noc::MeshShape mesh(mesh_k, mesh_k);
-  noc::Network net(eng, mesh, noc::NocParams{});
+  noc::NocParams np;
+  np.shards = g_shards;
+  noc::Network net(eng, mesh, np);
   net.set_delivery_handler([](NodeId, const noc::WormPtr&) {});
   sim::Rng rng(11);
   const int n = mesh.num_nodes();
@@ -138,6 +152,7 @@ void BM_Burst(benchmark::State& state, int mesh_k) {
 void BM_Gather(benchmark::State& state, int mesh_k) {
   dsm::SystemParams p;
   p.mesh_w = p.mesh_h = mesh_k;
+  p.noc.shards = g_shards;
   p.scheme = core::Scheme::EcCmHg;
   dsm::Machine m(p);
   sim::Rng rng(13);
@@ -180,6 +195,7 @@ void BM_Gather(benchmark::State& state, int mesh_k) {
 void BM_TxnSetup(benchmark::State& state, int mesh_k) {
   dsm::SystemParams p;
   p.mesh_w = p.mesh_h = mesh_k;
+  p.noc.shards = g_shards;
   p.scheme = core::Scheme::EcCmHg;
   dsm::Machine m(p);
   sim::Rng rng(17);
@@ -244,6 +260,7 @@ void BM_TxnSetup(benchmark::State& state, int mesh_k) {
 void BM_Stream(benchmark::State& state, int mesh_k) {
   dsm::SystemParams p;
   p.mesh_w = p.mesh_h = mesh_k;
+  p.noc.shards = g_shards;
   p.scheme = core::Scheme::EcCmHg;
   dsm::Machine m(p);
   workload::GenConfig cfg;
@@ -323,6 +340,10 @@ bool write_point_json(const std::string& path, const std::string& label,
   std::fprintf(f, "{\n  \"schema\": \"mdw.bench_simspeed.v1\",\n");
   std::fprintf(f, "  \"label\": \"%s\",\n  \"mode\": \"%s\",\n", label.c_str(),
                mode);
+  // shards/cpus let check_simspeed.py pair shards=1 vs shards=N points and
+  // skip the parallel-efficiency gate on hosts with no real parallelism.
+  std::fprintf(f, "  \"shards\": %d,\n  \"cpus\": %u,\n", g_shards,
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f,
@@ -352,6 +373,9 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--repeat=", 0) == 0) {
       repeat = std::atoi(a.c_str() + 9);
       if (repeat < 1) repeat = 1;
+    } else if (a.rfind("--shards=", 0) == 0) {
+      g_shards = std::atoi(a.c_str() + 9);
+      if (g_shards < 1) g_shards = 1;
     } else {
       args.push_back(argv[i]);
     }
@@ -380,27 +404,32 @@ int main(int argc, char** argv) {
                              std::to_string(pt.mesh) + "/" +
                              std::string(core::scheme_name(pt.scheme));
     benchmark::RegisterBenchmark(name.c_str(), BM_SingleTxn, pt.mesh,
-                                 pt.scheme);
+                                 pt.scheme)
+        ->UseRealTime();
   }
-  for (int mesh : {8, 16, 32}) {
+  for (int mesh : {8, 16, 32, 64}) {
     const std::string name =
         "Burst/" + std::to_string(mesh) + "x" + std::to_string(mesh);
-    benchmark::RegisterBenchmark(name.c_str(), BM_Burst, mesh);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Burst, mesh)
+        ->UseRealTime();
   }
   for (int mesh : {16, 32}) {
     const std::string name =
         "Gather/" + std::to_string(mesh) + "x" + std::to_string(mesh);
-    benchmark::RegisterBenchmark(name.c_str(), BM_Gather, mesh);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Gather, mesh)
+        ->UseRealTime();
   }
   for (int mesh : {16, 32}) {
     const std::string name =
         "TxnSetup/" + std::to_string(mesh) + "x" + std::to_string(mesh);
-    benchmark::RegisterBenchmark(name.c_str(), BM_TxnSetup, mesh);
+    benchmark::RegisterBenchmark(name.c_str(), BM_TxnSetup, mesh)
+        ->UseRealTime();
   }
-  for (int mesh : {16, 32}) {
+  for (int mesh : {16, 32, 64}) {
     const std::string name =
         "Stream/" + std::to_string(mesh) + "x" + std::to_string(mesh);
-    benchmark::RegisterBenchmark(name.c_str(), BM_Stream, mesh);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Stream, mesh)
+        ->UseRealTime();
   }
 
   int bargc = static_cast<int>(args.size());

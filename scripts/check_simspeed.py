@@ -1,18 +1,33 @@
 #!/usr/bin/env python3
-"""Guard against simulator-throughput regressions.
+"""Guard against simulator-throughput regressions; report parallel efficiency.
 
-Compares the newest point of the BENCH_simspeed.json trajectory against a
-baseline point on the scenarios they share: if any scenario's
-sim_cycles_per_sec dropped by more than the tolerance (default 10%), exit
-non-zero.  The baseline is the second-newest point by default, or the newest
-point carrying --baseline=<label> when given.  Scenarios present in only one
-of the two compared points get a warning on stderr; new scenarios cannot
-regress, but scenarios dropped from the newest point fail the check (a
-silently deleted benchmark would otherwise hide a regression).
+Regression gate: compares the newest point of the BENCH_simspeed.json
+trajectory against a baseline point on the scenarios they share: if any
+scenario's sim_cycles_per_sec dropped by more than the tolerance (default
+10%), exit non-zero.  The baseline is the newest earlier point with the SAME
+shard count (points written before the sharded kernel carry an implicit
+"shards": 1), or the newest such point carrying --baseline=<label> when
+given.  Comparing only like-for-like shard counts keeps the gate meaningful:
+a shards=4 point on a single-CPU box is slower than shards=1 by design, not
+by regression.  Scenarios present in only one of the two compared points get
+a warning on stderr; new scenarios cannot regress, but scenarios dropped
+from the newest point fail the check (a silently deleted benchmark would
+otherwise hide a regression).
+
+Parallel-efficiency check: whenever the newest point's label also appears on
+a point with a different shard count, the newest shards=1 and shards=N
+points under that label are paired per scenario and the speedup
+(parallel/sequential) and efficiency (speedup / effective workers, where
+effective workers = min(shards, cpus)) are printed.  Scenarios on 32x32 or
+larger meshes with efficiency below 50% draw a warning on stderr.  On hosts
+whose recorded "cpus" is below 2 there is no hardware parallelism to
+measure, so the efficiency check is skipped with a note instead of emitting
+meaningless warnings.
 
 Usage:
     scripts/check_simspeed.py [--trajectory BENCH_simspeed.json]
                               [--tolerance 0.10] [--baseline LABEL]
+                              [--min-efficiency 0.50]
 """
 
 from __future__ import annotations
@@ -37,32 +52,38 @@ def rates(point: dict) -> dict[str, float]:
     }
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument(
-        "--trajectory",
-        type=pathlib.Path,
-        default=pathlib.Path(__file__).resolve().parent.parent
-        / "BENCH_simspeed.json",
-    )
-    ap.add_argument("--tolerance", type=float, default=0.10,
-                    help="max fractional sim_cycles_per_sec drop (default 0.10)")
-    ap.add_argument("--baseline", metavar="LABEL", default=None,
-                    help="compare against the newest point with this label "
-                         "instead of the second-newest point")
-    args = ap.parse_args()
+def shards_of(point: dict) -> int:
+    return int(point.get("shards", 1))
 
-    points = load_points(args.trajectory)
+
+def mesh_of(name: str) -> int:
+    """Mesh edge length from a scenario name like 'Burst/32x32' (0 if none)."""
+    for part in name.split("/"):
+        edge, x, _ = part.partition("x")
+        if x and edge.isdigit():
+            return int(edge)
+    return 0
+
+
+def check_regression(points: list[dict], baseline_label: str | None,
+                     tolerance: float) -> int:
     new = points[-1]
-    if args.baseline is not None:
-        matches = [p for p in points[:-1] if p.get("label") == args.baseline]
-        if not matches:
-            known = ", ".join(p.get("label", "?") for p in points[:-1])
-            sys.exit(f"{args.trajectory}: no baseline point labelled "
-                     f"'{args.baseline}' (known: {known})")
-        prev = matches[-1]
-    else:
-        prev = points[-2]
+    want_shards = shards_of(new)
+    candidates = [p for p in points[:-1] if shards_of(p) == want_shards]
+    if baseline_label is not None:
+        candidates = [p for p in candidates if p.get("label") == baseline_label]
+        if not candidates:
+            known = ", ".join(
+                f"{p.get('label', '?')}(shards={shards_of(p)})"
+                for p in points[:-1])
+            sys.exit(f"no baseline point labelled '{baseline_label}' with "
+                     f"shards={want_shards} (known: {known})")
+    if not candidates:
+        print(f"check_simspeed: no earlier shards={want_shards} point to "
+              f"compare '{new.get('label', '?')}' against; skipping "
+              f"regression gate")
+        return 0
+    prev = candidates[-1]
     prev_rates, new_rates = rates(prev), rates(new)
 
     for name in sorted(set(prev_rates) - set(new_rates)):
@@ -73,7 +94,7 @@ def main() -> int:
               f"newest point '{new['label']}'", file=sys.stderr)
 
     print(f"check_simspeed: '{prev['label']}' -> '{new['label']}' "
-          f"(tolerance {args.tolerance:.0%})")
+          f"(shards={want_shards}, tolerance {tolerance:.0%})")
 
     failures = []
     for name in sorted(prev_rates):
@@ -84,7 +105,7 @@ def main() -> int:
         old_v, new_v = prev_rates[name], new_rates[name]
         ratio = new_v / old_v if old_v > 0 else float("inf")
         marker = "OK "
-        if ratio < 1.0 - args.tolerance:
+        if ratio < 1.0 - tolerance:
             marker = "FAIL"
             failures.append(
                 f"  {name}: {old_v:.6g} -> {new_v:.6g} cyc/s "
@@ -96,12 +117,72 @@ def main() -> int:
 
     if failures:
         print(f"check_simspeed: FAILED — {len(failures)} regression(s) "
-              f"beyond {args.tolerance:.0%}:")
+              f"beyond {tolerance:.0%}:")
         for f in failures:
             print(f)
         return 1
     print("check_simspeed: OK")
     return 0
+
+
+def check_efficiency(points: list[dict], min_efficiency: float) -> None:
+    label = points[-1].get("label")
+    same = [p for p in points if p.get("label") == label]
+    seq = [p for p in same if shards_of(p) == 1]
+    par = [p for p in same if shards_of(p) > 1]
+    if not seq or not par:
+        return
+    base, sharded = seq[-1], par[-1]
+    shards = shards_of(sharded)
+    cpus = int(sharded.get("cpus", 0))
+    print(f"check_simspeed: parallel efficiency for label '{label}' "
+          f"(shards={shards}, cpus={cpus})")
+    if cpus < 2:
+        print(f"  single-CPU host (cpus={cpus}): no hardware parallelism "
+              f"available, efficiency check skipped — shards={shards} "
+              f"numbers above record thread-coordination overhead only")
+        return
+    workers = min(shards, cpus)
+    base_rates, par_rates = rates(base), rates(sharded)
+    for name in sorted(set(base_rates) & set(par_rates)):
+        b, p = base_rates[name], par_rates[name]
+        if b <= 0:
+            continue
+        speedup = p / b
+        eff = speedup / workers
+        big = mesh_of(name) >= 32
+        slow = big and eff < min_efficiency
+        marker = "WARN" if slow else "ok  "
+        print(f"  [{marker}] {name}: {speedup:.2f}x over shards=1 "
+              f"({eff:.0%} efficiency on {workers} workers)")
+        if slow:
+            print(f"check_simspeed: warning: '{name}' parallel efficiency "
+                  f"{eff:.0%} below {min_efficiency:.0%} at shards={shards}",
+                  file=sys.stderr)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--trajectory",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_simspeed.json",
+    )
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="max fractional sim_cycles_per_sec drop (default 0.10)")
+    ap.add_argument("--baseline", metavar="LABEL", default=None,
+                    help="compare against the newest same-shards point with "
+                         "this label instead of the newest same-shards point")
+    ap.add_argument("--min-efficiency", type=float, default=0.50,
+                    help="warn when a 32x32+ scenario's parallel efficiency "
+                         "falls below this fraction (default 0.50)")
+    args = ap.parse_args()
+
+    points = load_points(args.trajectory)
+    rc = check_regression(points, args.baseline, args.tolerance)
+    check_efficiency(points, args.min_efficiency)
+    return rc
 
 
 if __name__ == "__main__":

@@ -4,7 +4,8 @@
 # a rebuild of the observability tests under ASan/UBSan, a UBSan-only build
 # running the complete tier-1 test list (UB in the protocol/planner hot
 # paths shows up here without ASan's run-time cost), and a TSan build of
-# the sweep tests (catches data races in the thread-pool grid runner).
+# the sweep and sharded-kernel tests (catches data races in the thread-pool
+# grid runner and in the parallel cycle kernel's strip threads).
 #
 #   $ scripts/verify.sh [build-dir]
 set -euo pipefail
@@ -32,6 +33,10 @@ cmake --build "$REL_BUILD" -j "$JOBS" \
     --ops=20000 --blocks=256 --warmup=1024
 "$REL_BUILD"/bench/bench_simspeed --benchmark_min_time=0.05 \
     --benchmark_filter='SingleTxn/16x16/UI-UA|Burst/8x8|Stream/16x16'
+# Same smoke on the sharded kernel: catches -O3-only breaks in the
+# parallel tick paths (results are bit-identical; only wall time differs).
+"$REL_BUILD"/bench/bench_simspeed --shards=2 --benchmark_min_time=0.05 \
+    --benchmark_filter='Burst/8x8|Stream/16x16'
 python3 scripts/check_simspeed.py
 
 echo
@@ -49,10 +54,17 @@ cmake --build "$UBSAN_BUILD" -j "$JOBS"
 ctest --test-dir "$UBSAN_BUILD" --output-on-failure -j "$JOBS"
 
 echo
-echo "=== sanitizers: TSan build, sweep + worm-pool tests (${TSAN_BUILD}) ==="
+echo "=== sanitizers: TSan build, sweep + worm-pool + sharded-kernel tests (${TSAN_BUILD}) ==="
 cmake -B "$TSAN_BUILD" -S . -DMDW_SANITIZE=thread >/dev/null
-cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep test_worm_pool
-ctest --test-dir "$TSAN_BUILD" -R 'sweep|worm_pool' --output-on-failure
+cmake --build "$TSAN_BUILD" -j "$JOBS" \
+    --target test_sweep test_worm_pool test_shard_kernel test_determinism
+ctest --test-dir "$TSAN_BUILD" -R 'sweep|worm_pool|shard_kernel' \
+    --output-on-failure
+# The shard-invariance fingerprints exercise the parallel kernel on full
+# protocol traffic; run just that test under TSan (the rest of the
+# determinism suite is single-threaded and slow under instrumentation).
+"$TSAN_BUILD"/tests/test_determinism \
+    --gtest_filter='Determinism.ShardCountInvariance'
 
 echo
 echo "verify: OK"

@@ -103,6 +103,7 @@ void Machine::snapshot_metrics() {
   reg.counter("route_cache.hits").set(rcs.hits);
   reg.counter("route_cache.misses").set(rcs.misses);
   reg.counter("route_cache.evictions").set(rcs.evictions);
+  net_->publish_shard_metrics();
 
   std::uint64_t forwarded = 0, consumed = 0, alloc_stalls = 0, cons_blocked = 0,
                 bank_blocked = 0;

@@ -21,6 +21,8 @@ std::string worm_trace_args(const Worm& w) {
 
 } // namespace
 
+thread_local Network::ShardCtx* Network::tls_shard_ = nullptr;
+
 Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& params,
                  obs::MetricsRegistry* metrics)
     : eng_(eng), mesh_(mesh), params_(params),
@@ -60,8 +62,32 @@ Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& param
       link.nbr_port = static_cast<int>(opposite(static_cast<Dir>(d)));
     }
   }
+  int shards_req = params_.shards;
+  if (const char* shards_env = std::getenv("MDW_SHARDS");
+      shards_env != nullptr && *shards_env != '\0') {
+    shards_req = std::atoi(shards_env);
+  }
+  plan_ = compute_shard_plan(mesh_, shards_req);
+  if (plan_.shards > 1) {
+    shard_ctx_.resize(static_cast<std::size_t>(plan_.shards));
+    for (ShardCtx& c : shard_ctx_) {
+      c.deliveries.reserve(64);
+      c.idle_checks.reserve(128);
+    }
+    progress_early_ =
+        std::make_unique<PaddedAtomicInt[]>(static_cast<std::size_t>(plan_.shards));
+    progress_late_ =
+        std::make_unique<PaddedAtomicInt[]>(static_cast<std::size_t>(plan_.shards));
+    barrier_ = std::make_unique<sim::ShardBarrier>(plan_.shards);
+    barrier_wait_hist_ =
+        &metrics_->histogram("shard_barrier_wait_spins", 0.0, 64.0, 128);
+    pool_ = std::make_unique<sim::ShardPool>(plan_.shards,
+                                             [this](int s) { shard_main(s); });
+  }
   eng_.register_tickable(this);
 }
+
+Network::~Network() = default;
 
 void Network::inject(const WormPtr& worm) {
   assert(!worm->path.empty());
@@ -86,24 +112,24 @@ void Network::inject(const WormPtr& worm) {
     });
     return;
   }
-  ++in_flight_;
-  ++queued_worms_;
+  ++counters().in_flight;
+  ++counters().queued_worms;
   ++ifaces_[worm->src].inj_work;
   ifaces_[worm->src].inject_q[static_cast<int>(worm->vnet)].push_back(worm);
   wake_router(worm->src);
 }
 
-void Network::reinject(NodeId at, const WormPtr& worm) {
+void Network::reinject(NodeId at, WormPtr worm) {
   // Deferred gather worm resuming its path from `at`.
   assert(worm->path[worm->head_hop] == at);
-  ++queued_worms_;
+  ++counters().queued_worms;
   ++ifaces_[at].inj_work;
-  ifaces_[at].inject_q[static_cast<int>(worm->vnet)].push_back(worm);
+  ifaces_[at].inject_q[static_cast<int>(worm->vnet)].push_back(std::move(worm));
   wake_router(at);
 }
 
 void Network::post_iack(NodeId at, TxnId txn, int count) {
-  ++pending_posts_;
+  ++counters().pending_posts;
   ifaces_[at].pending_posts.emplace_back(txn, count);
   wake_router(at);
 }
@@ -120,11 +146,11 @@ void Network::try_pending_posts(NodeId n) {
       iface.pending_posts.emplace_back(txn, count);  // bank full; retry
       continue;
     }
-    --pending_posts_;
+    --counters().pending_posts;
     if (tracer_) {
       trace_bank_occupancy(n, routers_[n]->bank().entries_in_use(), eng_.now());
     }
-    if (released.has_value()) reinject(n, *released);
+    if (released.has_value()) reinject(n, std::move(*released));
   }
   if (iface.pending_posts.empty()) note_maybe_idle(n);
 }
@@ -152,7 +178,7 @@ void Network::service_injection(NodeId n, Cycle now) {
     const bool head = st.flits_pushed == 0;
     const bool tail = st.flits_pushed == st.worm->length_flits - 1;
     ivc.buf.push_back(Flit{head, tail, now});
-    ++live_flits_;
+    ++counters().live_flits;
     ++r.active_work_;
     if (head) {
       ivc.ready_at = now + params_.router_delay;
@@ -162,20 +188,33 @@ void Network::service_injection(NodeId n, Cycle now) {
     if (tail) {
       st.worm = nullptr;
       st.flits_pushed = 0;
-      --queued_worms_;
+      --counters().queued_worms;
       --iface.inj_work;
     }
   }
 }
 
-void Network::on_delivery(NodeId where, const WormPtr& worm, bool final_dest,
+void Network::on_delivery(NodeId where, WormPtr worm, bool final_dest,
                           Cycle now) {
+  if (sharded_active_) {
+    // Defer to the phase-1 barrier: the mailbox is replayed serially in
+    // global (id - start) mod n order, so the delivery handler observes the
+    // exact sequence the sequential kernel produces.  The worm reference is
+    // parked in the mailbox — no refcount traffic on the shard threads.
+    tls_shard_->deliveries.push_back({where, std::move(worm), final_dest});
+    return;
+  }
+  commit_delivery(where, worm, final_dest, now);
+}
+
+void Network::commit_delivery(NodeId where, const WormPtr& worm,
+                              bool final_dest, Cycle now) {
   if (final_dest) {
     worm->deliver_cycle = now;
     stats_.worm_latency.add(static_cast<double>(now - worm->inject_cycle));
     ++stats_.worms_delivered;
-    assert(in_flight_ > 0);
-    --in_flight_;
+    assert(cnt_.in_flight > 0);
+    --cnt_.in_flight;
     if (tracer_) {
       tracer_->complete(std::string("worm.") + worm_kind_name(worm->kind),
                         "noc", worm->inject_cycle, now - worm->inject_cycle,
@@ -186,15 +225,20 @@ void Network::on_delivery(NodeId where, const WormPtr& worm, bool final_dest,
 }
 
 void Network::on_gather_deposit(NodeId at, const WormPtr& worm) {
-  ++stats_.gather_deposits;
-  assert(in_flight_ > 0);
-  --in_flight_;
-  if (tracer_) {
-    tracer_->complete(std::string("worm.") + worm_kind_name(worm->kind) +
-                          ".deposit",
-                      "noc", worm->inject_cycle,
-                      eng_.now() - worm->inject_cycle, worm->src,
-                      worm_trace_args(*worm));
+  if (sharded_active_) {
+    ++tls_shard_->delta.gather_deposits;
+    --tls_shard_->delta.in_flight;
+  } else {
+    ++stats_.gather_deposits;
+    assert(cnt_.in_flight > 0);
+    --cnt_.in_flight;
+    if (tracer_) {
+      tracer_->complete(std::string("worm.") + worm_kind_name(worm->kind) +
+                            ".deposit",
+                        "noc", worm->inject_cycle,
+                        eng_.now() - worm->inject_cycle, worm->src,
+                        worm_trace_args(*worm));
+    }
   }
   post_iack(at, worm->txn, worm->gathered);
 }
@@ -204,7 +248,18 @@ void Network::wake_router(NodeId id) {
   Router& r = *routers_[id];
   if (r.scheduled_) return;
   r.scheduled_ = true;
-  sched_words_[static_cast<std::size_t>(id) >> 6] |= 1ull << (id & 63);
+  if (sharded_active_) {
+    // Words straddle strip boundaries, and traverse wakes cross-shard
+    // neighbours; the bit-set must be atomic.  (The scheduled_ flag itself
+    // needs no atomicity: all of a router's wakers sit within Manhattan
+    // distance 1 of it, and the traverse front order separates any two
+    // actors within distance 2 with a release/acquire progress edge.)
+    const std::atomic_ref<std::uint64_t> word(
+        sched_words_[static_cast<std::size_t>(id) >> 6]);
+    word.fetch_or(1ull << (id & 63), std::memory_order_relaxed);
+  } else {
+    sched_words_[static_cast<std::size_t>(id) >> 6] |= 1ull << (id & 63);
+  }
 }
 
 template <class F>
@@ -237,8 +292,9 @@ bool Network::node_has_work(NodeId id) const {
 }
 
 bool Network::tick(Cycle now) {
-  if (live_flits_ == 0 && queued_worms_ == 0 && pending_posts_ == 0)
+  if (cnt_.live_flits == 0 && cnt_.queued_worms == 0 && cnt_.pending_posts == 0)
     return false;
+  if (pool_ != nullptr && tracer_ == nullptr) return tick_sharded(now);
   const int n = mesh_.num_nodes();
   const int start = rotate_;
   rotate_ = (rotate_ + 1) % n;
@@ -266,16 +322,16 @@ bool Network::tick(Cycle now) {
   // router anywhere holds that class of work (the sweep would be a no-op);
   // the gates are read at phase start, so work generated by an earlier phase
   // this cycle (e.g. a reinjection from a completed i-ack post) still runs.
-  if (pending_posts_ != 0 || cons_flits_total_ != 0) {
+  if (cnt_.pending_posts != 0 || cnt_.cons_flits_total != 0) {
     for_each_scheduled(start, [&](NodeId id) {
       if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
       routers_[id]->drain_consumption(now);
     });
   }
-  if (queued_worms_ != 0) {
+  if (cnt_.queued_worms != 0) {
     for_each_scheduled(start, [&](NodeId id) { service_injection(id, now); });
   }
-  if (pending_heads_total_ != 0) {
+  if (cnt_.pending_heads_total != 0) {
     for_each_scheduled(start, [&](NodeId id) { routers_[id]->allocate(now); });
   }
   for_each_scheduled(start, [&](NodeId id) { routers_[id]->traverse(now); });

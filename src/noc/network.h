@@ -4,9 +4,18 @@
 // The Network is a sim::Tickable: each cycle it runs the three router phases
 // over all routers (with a rotating start index so allocation arbitration is
 // fair across nodes) and services the per-node injection queues.
+//
+// With NocParams::shards > 1 the tick runs the sharded parallel kernel
+// (DESIGN.md section 14): the mesh is cut into row strips, each owned by one
+// thread of a persistent sim::ShardPool, with a sim::ShardBarrier between
+// the tick phases.  Per-shard counter deltas and a per-shard delivery
+// mailbox are folded/replayed deterministically at the barriers, and the
+// traverse phase runs in diagonal-front order with cross-strip progress
+// waits, so the result is bit-identical to the sequential kernel.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -15,11 +24,13 @@
 #include "noc/route_cache.h"
 #include "noc/router.h"
 #include "noc/routing.h"
+#include "noc/shard_plan.h"
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
 #include "obs/trace_writer.h"
 #include "sim/engine.h"
 #include "sim/ring_queue.h"
+#include "sim/shard.h"
 #include "sim/stats.h"
 
 namespace mdw::noc {
@@ -63,6 +74,7 @@ public:
   /// protocol-driven); when nullptr the network owns a private one.
   Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& params,
           obs::MetricsRegistry* metrics = nullptr);
+  ~Network() override;
 
   [[nodiscard]] const MeshShape& mesh() const { return mesh_; }
   [[nodiscard]] const NocParams& params() const { return params_; }
@@ -77,6 +89,8 @@ public:
   [[nodiscard]] RouteCache& route_cache() { return route_cache_; }
 
   /// Opt-in event tracing (worm spans, i-ack bank occupancy); nullptr off.
+  /// Tracing hooks fire on the shard threads, so a non-null writer makes
+  /// tick() fall back to the (bit-identical) sequential kernel.
   void set_trace_writer(obs::TraceWriter* t) { tracer_ = t; }
   [[nodiscard]] obs::TraceWriter* tracer() const { return tracer_; }
 
@@ -93,7 +107,9 @@ public:
   void post_iack(NodeId at, TxnId txn, int count);
 
   /// Number of worms injected but not yet fully delivered/absorbed.
-  [[nodiscard]] std::uint64_t worms_in_flight() const { return in_flight_; }
+  [[nodiscard]] std::uint64_t worms_in_flight() const {
+    return static_cast<std::uint64_t>(cnt_.in_flight);
+  }
 
   /// Per-link flit counts (for hot-spot analysis): indexed (node, dir).
   [[nodiscard]] std::uint64_t link_flits(NodeId n, Dir d) const {
@@ -102,9 +118,26 @@ public:
 
   bool tick(Cycle now) override;
 
+  // --- sharded-kernel introspection --------------------------------------
+  /// Effective shard count after clamping to the mesh height (1 = the
+  /// sequential kernel).
+  [[nodiscard]] int shards() const { return plan_.shards; }
+  /// The shard whose strip owns node `id`'s router.
+  [[nodiscard]] int shard_of(NodeId id) const {
+    return plan_.shard_of[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const ShardPlan& shard_plan() const { return plan_; }
+  /// Publish per-shard tick counters (barrier/order wait spins, routers
+  /// traversed) into the metrics registry.  No-op for the sequential kernel.
+  void publish_shard_metrics();
+
   // --- used by Router -----------------------------------------------------
   void count_link_flit(NodeId from, Dir d) {
-    ++stats_.link_flit_hops;
+    if (sharded_active_) {
+      ++tls_shard_->delta.link_flit_hops;
+    } else {
+      ++stats_.link_flit_hops;
+    }
     heatmap_.record_hop(from, static_cast<int>(d));
   }
   /// A head flit failed allocation waiting for the outgoing link (from, d).
@@ -118,26 +151,50 @@ public:
     tracer_->counter(bank_counter_names_[at], now, at,
                      static_cast<double>(in_use));
   }
-  void on_delivery(NodeId where, const WormPtr& worm, bool final_dest, Cycle now);
-  void on_gather_deferred() { ++stats_.gather_deferred; }
+  /// Takes the worm by value so a consumption channel can hand over its
+  /// reference with zero refcount traffic — required by the sharded kernel,
+  /// where copies of a multidestination worm drain on several shard threads
+  /// in the same phase and the refcount is deliberately non-atomic.
+  void on_delivery(NodeId where, WormPtr worm, bool final_dest, Cycle now);
+  void on_gather_deferred() {
+    if (sharded_active_) {
+      ++tls_shard_->delta.gather_deferred;
+    } else {
+      ++stats_.gather_deferred;
+    }
+  }
+  /// A tail flit of an intermediate-destination (absorb) copy reached the
+  /// consumption channel.
+  void on_absorb_delivery() {
+    if (sharded_active_) {
+      ++tls_shard_->delta.absorb_deliveries;
+    } else {
+      ++stats_.absorb_deliveries;
+    }
+  }
   /// A non-trunk gather worm finished by sinking into `at`'s i-ack bank.
   void on_gather_deposit(NodeId at, const WormPtr& worm);
   /// Live-flit accounting, used for cheap global activity detection.
-  void on_flit_removed() { --live_flits_; }
-  void on_flit_copied() { ++live_flits_; }
+  void on_flit_removed() { --counters().live_flits; }
+  void on_flit_copied() { ++counters().live_flits; }
   /// Global phase-work accounting: consumption-channel flits and unrouted
   /// heads across all routers.  A zero count lets tick() skip that phase's
   /// sweep outright — equivalent to running it over routers with none of
   /// that work class, which is a no-op.
-  void on_cons_flit(int delta) { cons_flits_total_ += delta; }
-  void on_pending_head(int delta) { pending_heads_total_ += delta; }
+  void on_cons_flit(int delta) { counters().cons_flits_total += delta; }
+  void on_pending_head(int delta) { counters().pending_heads_total += delta; }
   /// A work counter at node `id` just reached zero: queue it for the
   /// end-of-tick deschedule check.  Only these transition points can turn
   /// node_has_work false, so checking the queued candidates is equivalent to
   /// re-checking every scheduled router each cycle (duplicates are harmless —
   /// the check is idempotent).
   void note_maybe_idle(NodeId id) {
-    if (!full_sweep_) idle_checks_.push_back(id);
+    if (full_sweep_) return;
+    if (sharded_active_) {
+      tls_shard_->idle_checks.push_back(id);
+    } else {
+      idle_checks_.push_back(id);
+    }
   }
   /// Put router `id` on the active worklist (no-op if already there, or in
   /// full-sweep mode).  Called on injection, incoming flits, and i-ack
@@ -155,9 +212,84 @@ public:
   [[nodiscard]] bool full_sweep() const { return full_sweep_; }
 
 private:
+  /// Global tick-gate and phase-gate counters.  During a sharded tick every
+  /// helper above routes its update into the calling shard's delta block
+  /// (via counters()); the deltas are folded into this canonical copy at
+  /// each phase barrier, so phase-gate reads see exactly the values the
+  /// sequential kernel would.
+  struct NetCounters {
+    std::int64_t in_flight = 0;        // worms injected, not yet delivered
+    std::int64_t live_flits = 0;       // flits resident in any buffer
+    std::int64_t queued_worms = 0;     // queued or still streaming in
+    std::int64_t pending_posts = 0;
+    std::int64_t cons_flits_total = 0;     // flits in consumption channels
+    std::int64_t pending_heads_total = 0;  // heads awaiting allocation
+    // Stat deltas (folded into NetworkStats, shard mode only).
+    std::int64_t link_flit_hops = 0;
+    std::int64_t gather_deferred = 0;
+    std::int64_t gather_deposits = 0;
+    std::int64_t absorb_deliveries = 0;
+  };
+
+  /// A consumption-channel delivery deferred to the phase-1 barrier.  The
+  /// worm reference is moved in and moved out: no refcount traffic on the
+  /// shard threads.
+  struct DeliveryRec {
+    NodeId where = 0;
+    WormPtr worm;
+    bool final_dest = false;
+  };
+
+  /// Per-shard working state, cache-line separated.
+  struct alignas(64) ShardCtx {
+    NetCounters delta;
+    std::vector<DeliveryRec> deliveries;  // phase-1 mailbox, key order
+    std::size_t replay_cursor = 0;        // merge cursor into `deliveries`
+    std::vector<NodeId> idle_checks;
+    std::uint64_t barrier_spins = 0;  // spin iterations inside barriers
+    std::uint64_t order_spins = 0;    // spin iterations in traverse waits
+    std::uint64_t ticks = 0;
+    std::uint64_t routers_traversed = 0;
+  };
+
+  struct alignas(64) PaddedAtomicInt {
+    std::atomic<int> v{-1};
+  };
+
+  [[nodiscard]] NetCounters& counters() {
+    return sharded_active_ ? tls_shard_->delta : cnt_;
+  }
+
   void service_injection(NodeId n, Cycle now);
   void try_pending_posts(NodeId n);
-  void reinject(NodeId at, const WormPtr& worm);
+  void reinject(NodeId at, WormPtr worm);
+  /// The sequential body of on_delivery (stats, latency, in-flight, the
+  /// delivery handler); in sharded mode this runs in the phase-1 serial
+  /// section, in key order across all shards' mailboxes.
+  void commit_delivery(NodeId where, const WormPtr& worm, bool final_dest,
+                       Cycle now);
+
+  // --- sharded kernel (network_shard.cpp side of the class) ---------------
+  bool tick_sharded(Cycle now);
+  void shard_main(int s);
+  void shard_traverse(int s, int start, Cycle now);
+  void shard_traverse_stage(int s, bool early, int start, Cycle now,
+                            PaddedAtomicInt* progress);
+  void fold_shard_deltas();
+  void replay_deliveries(Cycle now);
+  /// Visit the scheduled routers of shard `s`'s strip in (id - start) mod n
+  /// order (all routers in full-sweep mode).  Bitmap words are re-read with
+  /// atomic loads: words can straddle strip boundaries and other shards
+  /// wake their own routers concurrently.
+  template <class F>
+  void sweep_own(int s, int start, F&& f);
+  template <class F>
+  void shard_scan_range(int lo, int hi, F&& f);
+  [[nodiscard]] bool sched_bit_atomic(NodeId id) {
+    const std::atomic_ref<std::uint64_t> word(
+        sched_words_[static_cast<std::size_t>(id) >> 6]);
+    return (word.load(std::memory_order_relaxed) >> (id & 63)) & 1u;
+  }
 
   sim::Engine& eng_;
   MeshShape mesh_;
@@ -171,12 +303,12 @@ private:
   obs::MetricsRegistry* metrics_;
   obs::LinkHeatmap heatmap_;
   obs::TraceWriter* tracer_ = nullptr;
-  std::uint64_t in_flight_ = 0;
-  std::int64_t live_flits_ = 0;      // flits resident in any buffer
-  std::int64_t queued_worms_ = 0;    // queued or still streaming in
-  std::int64_t pending_posts_ = 0;
-  std::int64_t cons_flits_total_ = 0;    // flits in consumption channels
-  std::int64_t pending_heads_total_ = 0; // heads awaiting allocation
+  /// Hot per-event state on its own cache lines: every flit move loads
+  /// sharded_active_ and bumps a gate counter, so keep the flag, the six
+  /// gate counters (first 48 bytes of NetCounters), and the rotation cursor
+  /// away from the cold members around them.
+  alignas(64) bool sharded_active_ = false;
+  NetCounters cnt_;
   int rotate_ = 0;
 
   /// Visit every scheduled router in (id - start) mod n order — the order
@@ -200,6 +332,25 @@ private:
 
   /// Precomputed "iack_bank.<n>" counter names (see trace_bank_occupancy).
   std::vector<std::string> bank_counter_names_;
+
+  // --- sharded-kernel state ----------------------------------------------
+  ShardPlan plan_;
+  // (sharded_active_ — true only between tick_sharded() entry and exit,
+  // routing the counter helpers through the calling shard's delta block —
+  // is declared next to cnt_ above for cache-line locality.  It is read by
+  // the shard threads, stable for the whole tick, and by the main thread in
+  // between, where it is always false: never concurrent with a write.)
+  int tick_start_ = 0;   // rotate_ snapshot for the in-flight sharded tick
+  Cycle tick_now_ = 0;
+  static thread_local ShardCtx* tls_shard_;
+  std::vector<ShardCtx> shard_ctx_;
+  /// Traverse-phase front progress per shard, one array per sweep stage
+  /// (ids >= start, then ids < start).  -1 = no front completed this tick.
+  std::unique_ptr<PaddedAtomicInt[]> progress_early_;
+  std::unique_ptr<PaddedAtomicInt[]> progress_late_;
+  std::unique_ptr<sim::ShardBarrier> barrier_;
+  std::unique_ptr<sim::ShardPool> pool_;  // joined first: declared last
+  obs::HistogramMetric* barrier_wait_hist_ = nullptr;
 };
 
 } // namespace mdw::noc

@@ -1,0 +1,305 @@
+// Sharded parallel cycle kernel (DESIGN.md section 14).
+//
+// The mesh is partitioned into row strips (noc/shard_plan.h); each strip is
+// ticked by one thread of a persistent sim::ShardPool, with a
+// sim::ShardBarrier between the tick phases.  The kernel is bit-identical
+// to the sequential tick in network.cpp:
+//
+//   * Phases 1-3 (posts/drain, injection, allocation) touch only the
+//     executing shard's routers and NIs, so each shard sweeps its strip in
+//     the global (id - start) mod n arbitration order.  Global counters are
+//     accumulated in per-shard deltas and folded at the phase barrier;
+//     consumption-channel deliveries are parked in per-shard mailboxes and
+//     replayed serially, merged across shards in global key order, inside
+//     the phase-1 barrier's serial section.
+//   * Phase 4 (switch traversal) is the only phase with cross-router
+//     effects: a step writes its own router and its link neighbours, so two
+//     steps interact iff their routers are within Manhattan distance 2.
+//     Cells are executed along diagonal fronts f = x + 2y, a linear
+//     extension of that dependency DAG restricted to ascending-id order:
+//     every distance-<=2 cell pair lands on different fronts, ordered the
+//     same way as their ids (cells sharing a front are >= distance 3
+//     apart).  Each shard walks its fronts in order, waiting — via a
+//     per-shard published front counter — for the strip(s) above it to be
+//     one front ahead; the pipeline lag between adjacent strips is a single
+//     front.  The rotating start splits the sweep into two stages (ids >=
+//     start, then ids < start, matching key order) separated by a barrier.
+//   * Phase 5 (deschedule) edits only own-strip routers; bitmap words can
+//     straddle strips, so bit clears (and all sharded-tick word accesses)
+//     go through std::atomic_ref.
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <string>
+#include <thread>
+
+#include "noc/network.h"
+
+namespace mdw::noc {
+
+bool Network::tick_sharded(Cycle now) {
+  const int n = mesh_.num_nodes();
+  tick_start_ = rotate_;
+  rotate_ = (rotate_ + 1) % n;
+  tick_now_ = now;
+  const std::uint64_t waits0 =
+      shard_ctx_[0].barrier_spins + shard_ctx_[0].order_spins;
+  sharded_active_ = true;
+  pool_->run();  // runs shard_main(s) on every shard; this thread is shard 0
+  sharded_active_ = false;
+  if (barrier_wait_hist_ != nullptr) {
+    barrier_wait_hist_->add(static_cast<double>(
+        shard_ctx_[0].barrier_spins + shard_ctx_[0].order_spins - waits0));
+  }
+  return true;
+}
+
+void Network::shard_main(int s) {
+  ShardCtx& ctx = shard_ctx_[static_cast<std::size_t>(s)];
+  tls_shard_ = &ctx;
+  const Cycle now = tick_now_;
+  const int start = tick_start_;
+
+  // The phase gates read the canonical counters, which change only inside
+  // barrier serial sections (and between ticks): every shard reads the same
+  // value, takes the same branch, and therefore arrives at the same barrier
+  // sequence.  A skipped phase is exactly the sequential kernel's skipped
+  // sweep — and costs no barrier either.
+  if (cnt_.pending_posts != 0 || cnt_.cons_flits_total != 0) {
+    sweep_own(s, start, [&](NodeId id) {
+      if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
+      routers_[id]->drain_consumption(now);
+    });
+    ctx.barrier_spins += barrier_->arrive_and_wait([&] {
+      fold_shard_deltas();
+      replay_deliveries(now);
+    });
+  }
+  if (cnt_.queued_worms != 0) {
+    sweep_own(s, start, [&](NodeId id) { service_injection(id, now); });
+    ctx.barrier_spins += barrier_->arrive_and_wait([&] { fold_shard_deltas(); });
+  }
+  if (cnt_.pending_heads_total != 0) {
+    sweep_own(s, start, [&](NodeId id) { routers_[id]->allocate(now); });
+    ctx.barrier_spins += barrier_->arrive_and_wait([&] { fold_shard_deltas(); });
+  }
+
+  // Phase 4: traversal along diagonal fronts, earlier-key stage first.
+  // When start == 0 the late stage owns no ids anywhere; every shard skips
+  // it (start is shared state, so the branch is uniform).
+  shard_traverse_stage(s, /*early=*/true, start, now, progress_early_.get());
+  if (start != 0) {
+    ctx.barrier_spins += barrier_->arrive_and_wait();
+    shard_traverse_stage(s, /*early=*/false, start, now, progress_late_.get());
+  }
+  ctx.barrier_spins += barrier_->arrive_and_wait([&] { fold_shard_deltas(); });
+
+  // Phase 5: reset front progress for the next tick (made visible through
+  // the pool's done/generation release-acquire chain) and deschedule own
+  // drained routers — same candidate set the sequential kernel checks.
+  progress_early_[static_cast<std::size_t>(s)].v.store(
+      -1, std::memory_order_relaxed);
+  progress_late_[static_cast<std::size_t>(s)].v.store(
+      -1, std::memory_order_relaxed);
+  for (const NodeId id : ctx.idle_checks) {
+    Router& r = *routers_[id];
+    if (r.scheduled_ && !node_has_work(id)) {
+      r.scheduled_ = false;
+      const std::atomic_ref<std::uint64_t> word(
+          sched_words_[static_cast<std::size_t>(id) >> 6]);
+      word.fetch_and(~(1ull << (id & 63)), std::memory_order_relaxed);
+    }
+  }
+  ctx.idle_checks.clear();
+  ++ctx.ticks;
+}
+
+template <class F>
+void Network::sweep_own(int s, int start, F&& f) {
+  // Own ids in global (id - start) mod n key order: the ids >= start run
+  // (ascending) before the ids < start — a strip is at most two contiguous
+  // runs in that order.
+  const ShardPlan::Range& rg = plan_.ranges[static_cast<std::size_t>(s)];
+  if (full_sweep_) {
+    for (int id = std::max(rg.lo, start); id < rg.hi; ++id)
+      f(static_cast<NodeId>(id));
+    const int e = std::min(rg.hi, start);
+    for (int id = rg.lo; id < e; ++id) f(static_cast<NodeId>(id));
+    return;
+  }
+  const int a = std::max(rg.lo, start);
+  if (a < rg.hi) shard_scan_range(a, rg.hi, f);
+  const int b = std::min(rg.hi, start);
+  if (rg.lo < b) shard_scan_range(rg.lo, b, f);
+}
+
+template <class F>
+void Network::shard_scan_range(int lo, int hi, F&& f) {
+  // for_each_scheduled over the non-wrapping id range [lo, hi), with atomic
+  // word reads: bitmap words can straddle strip boundaries, and other
+  // shards set their own bits concurrently (never bits inside this range —
+  // phases 1-3 only wake the id being processed).  The word is re-read
+  // after every callback, preserving the sequential kernel's mid-phase
+  // splice semantics for self-wakes.
+  const int w0 = lo >> 6;
+  const int w1 = (hi - 1) >> 6;
+  for (int wi = w0; wi <= w1; ++wi) {
+    std::uint64_t mask = ~0ull;
+    if (wi == w0) mask &= ~0ull << (lo & 63);
+    if (wi == w1 && (hi & 63) != 0) mask &= ~0ull >> (64 - (hi & 63));
+    while (mask != 0) {
+      const std::atomic_ref<std::uint64_t> word(
+          sched_words_[static_cast<std::size_t>(wi)]);
+      const std::uint64_t bits = word.load(std::memory_order_relaxed) & mask;
+      if (bits == 0) break;
+      const int b = std::countr_zero(bits);
+      mask = b == 63 ? 0 : mask & (~0ull << (b + 1));
+      f(static_cast<NodeId>((wi << 6) + b));
+    }
+  }
+}
+
+void Network::shard_traverse_stage(int s, bool early, int start, Cycle now,
+                                   PaddedAtomicInt* progress) {
+  ShardCtx& ctx = shard_ctx_[static_cast<std::size_t>(s)];
+  const ShardPlan::Range& rg = plan_.ranges[static_cast<std::size_t>(s)];
+  const int W = plan_.width;
+  const int maxf = (W - 1) + 2 * (plan_.height - 1);
+  std::atomic<int>& mine = progress[s].v;
+  // Own ids in this stage (contiguous: the stage split point `start` cuts a
+  // strip into at most one in-stage run per stage).
+  const int slo = early ? std::max(rg.lo, start) : rg.lo;
+  const int shi = early ? rg.hi : std::min(rg.hi, start);
+  if (slo >= shi) {
+    // Nothing to execute: publish full completion for downstream waiters.
+    mine.store(maxf, std::memory_order_release);
+    return;
+  }
+  const int ylo = slo / W;
+  const int yhi = (shi - 1) / W;
+  // Cross-strip "before" dependencies exist only for cells in the strip's
+  // top two rows, on rows y0-1 / y0-2 above — and only when those remote
+  // cells are themselves in this stage (ids below rg.lo are in the early
+  // stage iff start < rg.lo; they are always in the late stage, whose ids
+  // run up to start > rg.lo whenever this strip has late-stage cells).
+  int ndeps = 0;
+  int deps[2];
+  if (rg.y0 > 0 && (!early || start < rg.lo)) {
+    deps[ndeps++] = plan_.shard_of[static_cast<std::size_t>((rg.y0 - 1) * W)];
+    if (rg.y0 > 1) {
+      const int d2 = plan_.shard_of[static_cast<std::size_t>((rg.y0 - 2) * W)];
+      if (d2 != deps[0]) deps[ndeps++] = d2;
+    }
+  }
+  const int wait_lo = 2 * rg.y0;          // fronts of rows y0 and y0+1
+  const int wait_hi = 2 * rg.y0 + W + 1;
+  const int kend = 2 * yhi + (W - 1);     // last front holding an own cell
+  const std::uint64_t spin_budget = sim::spin_budget(plan_.shards);
+  for (int k = 2 * ylo; k <= kend; ++k) {
+    if (ndeps != 0 && k >= wait_lo && k <= wait_hi) {
+      // A cell at front k depends on remote cells at fronts k-1..k-4 only;
+      // progress >= k-1 from the strip(s) above makes them all visible
+      // (release store there, acquire load here).
+      for (int d = 0; d < ndeps; ++d) {
+        std::atomic<int>& theirs = progress[deps[d]].v;
+        std::uint64_t spins = 0;
+        while (theirs.load(std::memory_order_acquire) < k - 1) {
+          if (++spins < spin_budget) {
+            sim::cpu_relax();
+          } else {
+            spins = 0;
+            std::this_thread::yield();
+          }
+          ++ctx.order_spins;
+        }
+      }
+    }
+    const int y_min = std::max(ylo, k >= W ? (k - W + 2) / 2 : 0);
+    const int y_max = std::min(yhi, k / 2);
+    for (int y = y_min; y <= y_max; ++y) {
+      const int x = k - 2 * y;
+      const int id = y * W + x;
+      if (id < slo || id >= shi) continue;  // seam row: other stage
+      if (!full_sweep_ && !sched_bit_atomic(static_cast<NodeId>(id))) continue;
+      routers_[static_cast<std::size_t>(id)]->traverse(now);
+      ++ctx.routers_traversed;
+    }
+    mine.store(k, std::memory_order_release);
+  }
+  // Strips below may wait on fronts past our last own cell.
+  mine.store(maxf, std::memory_order_release);
+}
+
+void Network::fold_shard_deltas() {
+  // Serial section: fold every shard's counter delta into the canonical
+  // counters (phase gates) and stats.  The counters end up exactly where a
+  // sequential sweep would have left them — the deltas are sums of the same
+  // increments.
+  for (ShardCtx& c : shard_ctx_) {
+    NetCounters& d = c.delta;
+    cnt_.in_flight += d.in_flight;
+    cnt_.live_flits += d.live_flits;
+    cnt_.queued_worms += d.queued_worms;
+    cnt_.pending_posts += d.pending_posts;
+    cnt_.cons_flits_total += d.cons_flits_total;
+    cnt_.pending_heads_total += d.pending_heads_total;
+    stats_.link_flit_hops += static_cast<std::uint64_t>(d.link_flit_hops);
+    stats_.gather_deferred += static_cast<std::uint64_t>(d.gather_deferred);
+    stats_.gather_deposits += static_cast<std::uint64_t>(d.gather_deposits);
+    stats_.absorb_deliveries +=
+        static_cast<std::uint64_t>(d.absorb_deliveries);
+    d = NetCounters{};
+  }
+  assert(cnt_.in_flight >= 0 && cnt_.live_flits >= 0 &&
+         cnt_.queued_worms >= 0 && cnt_.pending_posts >= 0 &&
+         cnt_.cons_flits_total >= 0 && cnt_.pending_heads_total >= 0);
+}
+
+void Network::replay_deliveries(Cycle now) {
+  // Serial section: commit the parked deliveries in global key order.  Each
+  // mailbox is already key-ordered (sweep_own order), and a router's
+  // deliveries all sit in its owner's mailbox, so a k-way merge on the head
+  // keys reproduces the sequential kernel's delivery sequence exactly —
+  // including the relative order of one router's multiple consumption
+  // channels, which stay consecutive within their shard's list.
+  const int n = mesh_.num_nodes();
+  const int S = plan_.shards;
+  for (ShardCtx& c : shard_ctx_) c.replay_cursor = 0;
+  for (;;) {
+    int best = -1;
+    int best_key = n;
+    for (int s = 0; s < S; ++s) {
+      ShardCtx& c = shard_ctx_[static_cast<std::size_t>(s)];
+      if (c.replay_cursor >= c.deliveries.size()) continue;
+      int key = static_cast<int>(c.deliveries[c.replay_cursor].where) -
+                tick_start_;
+      if (key < 0) key += n;
+      if (key < best_key) {
+        best_key = key;
+        best = s;
+      }
+    }
+    if (best < 0) break;
+    ShardCtx& c = shard_ctx_[static_cast<std::size_t>(best)];
+    DeliveryRec& rec = c.deliveries[c.replay_cursor++];
+    commit_delivery(rec.where, rec.worm, rec.final_dest, now);
+    // Drop the mailbox reference here, inside the serial section: if it is
+    // the last one the worm is recycled without racing another shard.
+    rec.worm = nullptr;
+  }
+  for (ShardCtx& c : shard_ctx_) c.deliveries.clear();
+}
+
+void Network::publish_shard_metrics() {
+  if (plan_.shards <= 1) return;
+  for (int s = 0; s < plan_.shards; ++s) {
+    const ShardCtx& c = shard_ctx_[static_cast<std::size_t>(s)];
+    const std::string p = "shard." + std::to_string(s) + ".";
+    metrics_->counter(p + "barrier_spins").set(c.barrier_spins);
+    metrics_->counter(p + "order_spins").set(c.order_spins);
+    metrics_->counter(p + "ticks").set(c.ticks);
+    metrics_->counter(p + "routers_traversed").set(c.routers_traversed);
+  }
+}
+
+} // namespace mdw::noc

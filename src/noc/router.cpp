@@ -44,13 +44,13 @@ void Router::drain_consumption(Cycle now) {
     net_.on_flit_removed();
     ++stats_.flits_consumed;
     if (f.tail) {
-      // Hand the channel's reference straight to on_delivery: no refcount
-      // round-trip per consumed worm (this ran once per consumed flit when
-      // it was a shared_ptr copy).
-      const WormPtr w = std::move(ch.worm);
+      // Hand the channel's reference straight through to on_delivery: zero
+      // refcount traffic per consumed worm (this ran once per consumed flit
+      // when it was a shared_ptr copy), which also keeps the sharded
+      // kernel's phase-1 drain free of refcount races on absorb copies.
       const bool fin = ch.final_dest;
       ch.final_dest = false;
-      net_.on_delivery(id_, w, fin, now);
+      net_.on_delivery(id_, std::move(ch.worm), fin, now);
     }
   }
   if (active_work_ == 0) net_.note_maybe_idle(id_);
@@ -328,7 +328,7 @@ bool Router::try_move_flit(int port, int vidx, InputVc& v, Cycle now) {
       ++active_work_;
       net_.on_cons_flit(1);
       net_.on_flit_copied();
-      if (f.tail) ++net_.stats().absorb_deliveries;
+      if (f.tail) net_.on_absorb_delivery();
     }
   }
 

@@ -53,6 +53,13 @@ struct NocParams {
   /// produce bit-identical simulations; see DESIGN.md "Scheduling model".
   bool full_sweep = false;
 
+  /// Cycle-kernel shard count: partition the mesh into this many row strips,
+  /// each ticked by its own thread (DESIGN.md section 14).  Clamped to the
+  /// mesh height; 1 (the default) runs the sequential kernel unchanged.
+  /// Overridable by the MDW_SHARDS environment variable.  Purely a
+  /// simulator-speed knob: results are bit-identical at any setting.
+  int shards = 1;
+
   [[nodiscard]] int vcs_total() const { return kNumVNets * vcs_per_vnet; }
   [[nodiscard]] int inj_vcs_total() const { return kNumVNets * inj_vcs_per_vnet; }
 };

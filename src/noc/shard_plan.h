@@ -1,0 +1,97 @@
+// Spatial partition of a mesh for the sharded cycle kernel (DESIGN.md
+// section 14).
+//
+// The mesh is cut into horizontal strips of whole rows, so every shard owns
+// a contiguous, row-major-id range of routers (and their NIs, i-ack banks,
+// and scheduler-bitmap positions).  Strips rather than general rectangles
+// keep each shard's sweep a pair of contiguous id runs in the rotating
+// (id - start) mod n arbitration order, which is what makes the parallel
+// sweep's visit order bit-identical to the sequential kernel's.
+//
+// Cross-shard ordering: two routers can observe each other's same-phase
+// effects only within Manhattan distance 2 (a traverse step writes its own
+// router and its link neighbours; two steps interact iff those write/read
+// sets overlap).  Every router within distance 2 of another shard is a
+// "band" router; the plan precomputes, per band router, the cross-shard
+// routers it must order itself against.  With whole-row strips those
+// remotes can only lie at row offsets +-1/+-2 (same-row neighbours share the
+// shard by construction), so a band router has at most 8 of them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/geometry.h"
+
+namespace mdw::noc {
+
+struct ShardPlan {
+  struct Range {
+    int lo = 0, hi = 0;  // owned node ids [lo, hi)
+    int y0 = 0, y1 = 0;  // owned rows [y0, y1)
+  };
+  /// A band router and the cross-shard routers within Manhattan distance 2
+  /// of it.  The traverse phase treats these ids as ordering checkpoints.
+  struct Checkpoint {
+    NodeId id = 0;
+    std::vector<NodeId> remotes;
+  };
+
+  int shards = 1;
+  int width = 0;
+  int height = 0;
+  std::vector<Range> ranges;              // one per shard
+  std::vector<std::uint16_t> shard_of;    // node id -> owning shard
+  std::vector<std::vector<Checkpoint>> band;  // per shard, ascending id
+};
+
+/// Partition `mesh` into at most `requested` row strips.  The shard count is
+/// clamped to [1, height] (a strip must own at least one whole row); rows
+/// are spread as evenly as possible (each strip gets height/shards rounded
+/// either way, never differing by more than one row).
+inline ShardPlan compute_shard_plan(const MeshShape& mesh, int requested) {
+  ShardPlan p;
+  p.width = mesh.width();
+  p.height = mesh.height();
+  const int w = p.width, h = p.height;
+  int s = requested < 1 ? 1 : requested;
+  if (s > h) s = h;
+  p.shards = s;
+  p.ranges.resize(static_cast<std::size_t>(s));
+  p.shard_of.assign(static_cast<std::size_t>(mesh.num_nodes()), 0);
+  for (int i = 0; i < s; ++i) {
+    const int y0 = static_cast<int>(static_cast<std::int64_t>(i) * h / s);
+    const int y1 = static_cast<int>(static_cast<std::int64_t>(i + 1) * h / s);
+    p.ranges[static_cast<std::size_t>(i)] = {y0 * w, y1 * w, y0, y1};
+    for (NodeId id = y0 * w; id < y1 * w; ++id) {
+      p.shard_of[static_cast<std::size_t>(id)] =
+          static_cast<std::uint16_t>(i);
+    }
+  }
+  p.band.resize(static_cast<std::size_t>(s));
+  if (s == 1) return p;
+  // All candidate offsets for a cross-shard router within distance 2 of a
+  // whole-row-strip partition (same-row offsets can never change shard).
+  static constexpr int kOffsets[8][2] = {{0, 1},  {0, -1}, {0, 2},  {0, -2},
+                                         {1, 1},  {1, -1}, {-1, 1}, {-1, -1}};
+  for (NodeId id = 0; id < mesh.num_nodes(); ++id) {
+    const Coord c = mesh.coord_of(id);
+    std::vector<NodeId> remotes;
+    for (const auto& off : kOffsets) {
+      const Coord nc{c.x + off[0], c.y + off[1]};
+      if (!mesh.contains(nc)) continue;
+      const NodeId nid = mesh.id_of(nc);
+      if (p.shard_of[static_cast<std::size_t>(nid)] !=
+          p.shard_of[static_cast<std::size_t>(id)]) {
+        remotes.push_back(nid);
+      }
+    }
+    if (!remotes.empty()) {
+      p.band[p.shard_of[static_cast<std::size_t>(id)]].push_back(
+          {id, std::move(remotes)});
+    }
+  }
+  return p;
+}
+
+} // namespace mdw::noc

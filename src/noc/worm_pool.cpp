@@ -7,6 +7,7 @@ namespace mdw::noc {
 WormPool::WormPool() : owner_(std::this_thread::get_id()) {}
 
 WormPool::~WormPool() {
+  drain_foreign();
   // Every worm must have come home: a worm released after its pool died
   // would dereference a dangling pool pointer.
   assert(outstanding_ == 0 && "worms outliving their WormPool");
@@ -18,6 +19,10 @@ WormPtr WormPool::acquire() {
   ++acquired_;
   ++outstanding_;
   Worm* w;
+  if (free_.empty() &&
+      foreign_count_.load(std::memory_order_relaxed) != 0) {
+    drain_foreign();
+  }
   if (!free_.empty()) {
     w = free_.back();
     free_.pop_back();
@@ -30,11 +35,32 @@ WormPtr WormPool::acquire() {
 }
 
 void WormPool::recycle(Worm* w) noexcept {
-  assert(std::this_thread::get_id() == owner_);
   assert(w->refs == 0 && w->pool == this);
+  if (std::this_thread::get_id() != owner_) {
+    // Shard worker dropping the last reference: park raw, the owner resets
+    // and refiles it (reset + bookkeeping stay single-threaded).
+    const std::lock_guard<std::mutex> lock(foreign_mu_);
+    foreign_.push_back(w);
+    foreign_count_.store(foreign_.size(), std::memory_order_relaxed);
+    return;
+  }
   w->reset_for_reuse();
   --outstanding_;
   free_.push_back(w);
+}
+
+void WormPool::drain_foreign() noexcept {
+  std::vector<Worm*> grabbed;
+  {
+    const std::lock_guard<std::mutex> lock(foreign_mu_);
+    grabbed.swap(foreign_);
+    foreign_count_.store(0, std::memory_order_relaxed);
+  }
+  for (Worm* w : grabbed) {
+    w->reset_for_reuse();
+    --outstanding_;
+    free_.push_back(w);
+  }
 }
 
 WormPool& WormPool::local() {

@@ -7,10 +7,18 @@
 // allocator only when a workload's in-flight high-water mark grows.
 //
 // Lifetime rules:
-//   * A worm is released (refcount zero) on the thread that acquired it.
-//     One Machine runs on one thread, and the sweep runner executes each
-//     grid point wholly on one worker, so this holds by construction; the
-//     pool asserts it.
+//   * A worm is acquired on the pool's owning thread.  One Machine builds
+//     worms on one thread, and the sweep runner executes each grid point
+//     wholly on one worker, so this holds by construction; the pool asserts
+//     it.
+//   * A worm is normally also released on that thread.  The sharded cycle
+//     kernel (DESIGN.md section 14) is the one exception: a shard worker can
+//     drop the last reference (e.g. a gather deposit sinking into a remote
+//     strip's i-ack bank), so a foreign-thread release parks the worm on a
+//     mutex-guarded side list that the owner drains on the next allocation
+//     (or at destruction).  The refcount itself stays non-atomic: the kernel
+//     orders all refcount operations on one worm via its phase barriers and
+//     traverse-order waits.
 //   * All worms of a pool die before the pool does (machines are destroyed
 //     before thread exit).  The destructor asserts none are outstanding.
 //   * Pooling is invisible to the simulation: a recycled worm is
@@ -18,7 +26,9 @@
 //     in the simulator branches on worm addresses.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -53,10 +63,17 @@ private:
   friend void release_worm(Worm* w) noexcept;
 
   /// Reset `w` and park it on the freelist.  Only called by release_worm
-  /// once the last WormPtr dropped.
+  /// once the last WormPtr dropped.  Safe from any thread: a release off the
+  /// owning thread goes to the foreign side list instead.
   void recycle(Worm* w) noexcept;
 
+  /// Owner-thread only: move foreign-released worms onto the freelist.
+  void drain_foreign() noexcept;
+
   std::vector<Worm*> free_;
+  std::mutex foreign_mu_;
+  std::vector<Worm*> foreign_;        // released off-thread, not yet reset
+  std::atomic<std::size_t> foreign_count_{0};
   std::int64_t outstanding_ = 0;
   std::uint64_t acquired_ = 0;
   std::uint64_t reused_ = 0;

@@ -1,0 +1,165 @@
+// Reusable shard-execution primitives for phase-barriered parallel kernels
+// (DESIGN.md section 14).
+//
+// A sharded kernel runs the same phase function on S threads (the caller is
+// shard 0, S-1 persistent workers are the rest) with a barrier between
+// phases.  Both primitives spin briefly and then fall back to C++20 atomic
+// waits, so back-to-back ticks never touch the kernel scheduler but an idle
+// simulation parks its workers.
+//
+// Synchronization contract: every barrier and every run()/worker handoff is
+// an acquire/release pair, so all plain writes made by a shard before a sync
+// point happen-before every read after it — the sharded cycle kernel relies
+// on this for its non-atomic counters, mailboxes, and flit buffers (and TSan
+// sees the same edges).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mdw::sim {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// How long a shard should busy-spin before parking (barrier waits) or
+/// yielding (ordered-progress waits).  When the host has fewer cores than
+/// the kernel has parties, spinning burns the very core the awaited thread
+/// needs — a spin there stretches into an OS scheduling quantum — so the
+/// budget collapses to "check once, then get out of the way".
+inline std::uint64_t spin_budget(int parties) {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return (hc != 0 && static_cast<int>(hc) < parties) ? 1 : 4096;
+}
+
+/// Sense-reversing spin barrier.  The last arriver may run a serial section
+/// (counter folds, deterministic mailbox merges) while every other party is
+/// still parked, then releases them all.
+class ShardBarrier {
+public:
+  explicit ShardBarrier(int parties)
+      : parties_(parties), spin_budget_(spin_budget(parties)) {}
+  ShardBarrier(const ShardBarrier&) = delete;
+  ShardBarrier& operator=(const ShardBarrier&) = delete;
+
+  std::uint64_t arrive_and_wait() {
+    return arrive_and_wait([] {});
+  }
+
+  /// Returns the number of spin iterations this party waited (0 for the
+  /// serial runner) — a cheap clock-free congestion metric.
+  template <class Serial>
+  std::uint64_t arrive_and_wait(Serial&& serial) {
+    const std::uint32_t ph = phase_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      serial();
+      phase_.fetch_add(1, std::memory_order_acq_rel);
+      phase_.notify_all();
+      return 0;
+    }
+    std::uint64_t spins = 0;
+    while (phase_.load(std::memory_order_acquire) == ph) {
+      if (++spins < spin_budget_) {
+        cpu_relax();
+      } else {
+        phase_.wait(ph, std::memory_order_acquire);
+      }
+    }
+    return spins;
+  }
+
+  [[nodiscard]] int parties() const { return parties_; }
+
+private:
+  const int parties_;
+  const std::uint64_t spin_budget_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint32_t> phase_{0};
+};
+
+/// Persistent worker pool for a fixed shard count.  run() executes
+/// body(shard) on every shard, with the calling thread serving shard 0;
+/// workers idle between runs on a generation counter.
+class ShardPool {
+public:
+  ShardPool(int shards, std::function<void(int)> body)
+      : shards_(shards), body_(std::move(body)) {
+    workers_.reserve(static_cast<std::size_t>(shards_ > 0 ? shards_ - 1 : 0));
+    for (int s = 1; s < shards_; ++s) {
+      workers_.emplace_back([this, s] { worker(s); });
+    }
+  }
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  ~ShardPool() {
+    stop_.store(true, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    gen_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  [[nodiscard]] int shards() const { return shards_; }
+
+  /// Run body(s) once per shard; returns after every shard finished.
+  void run() {
+    done_.store(0, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    gen_.notify_all();
+    body_(0);
+    const int need = shards_ - 1;
+    const std::uint64_t budget = spin_budget(shards_) * 16;
+    std::uint64_t spins = 0;
+    while (done_.load(std::memory_order_acquire) != need) {
+      if (++spins < budget) {
+        cpu_relax();
+      } else {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+private:
+  void worker(int s) {
+    // gen_ starts at 0 and run() bumps it exactly once per tick, with run()
+    // blocking on done_ before the next bump — so starting from 0 can never
+    // miss or double-run a generation, even if this thread starts late.
+    std::uint64_t seen = 0;
+    const std::uint64_t budget = spin_budget(shards_);
+    while (true) {
+      std::uint64_t g;
+      std::uint64_t spins = 0;
+      while ((g = gen_.load(std::memory_order_acquire)) == seen) {
+        if (++spins < budget) {
+          cpu_relax();
+        } else {
+          gen_.wait(seen, std::memory_order_acquire);
+        }
+      }
+      seen = g;
+      if (stop_.load(std::memory_order_relaxed)) return;
+      body_(s);
+      done_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  const int shards_;
+  std::function<void(int)> body_;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<int> done_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+} // namespace mdw::sim

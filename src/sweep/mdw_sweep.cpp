@@ -52,6 +52,10 @@ void usage(const char* argv0) {
       "\n"
       "options:\n"
       "  --jobs=N             worker threads (default: hardware concurrency)\n"
+      "  --shards=N           cycle-kernel threads per point (row strips,\n"
+      "                       clamped to mesh height; default 1; results are\n"
+      "                       bit-identical at any value).  Composes with\n"
+      "                       --jobs: total threads ~ jobs * shards\n"
       "  --format=F           table output: plain (default) | csv | json\n"
       "  --points-json=PATH   write per-point results + merged metrics JSON\n"
       "  --metrics-json=PATH  write merged registry (+ heatmap) JSON\n"
@@ -95,6 +99,7 @@ std::vector<int> parse_int_list(const char* argv0, const std::string& flag,
 struct CliOptions {
   sweep::NamedGrid job;  // the grid to run (named or assembled inline)
   int jobs = 0;
+  int shards = 1;
   std::string format = "plain";
   std::string points_json, metrics_json;
   bool heatmap = false;
@@ -191,6 +196,9 @@ CliOptions parse_cli(int argc, char** argv) {
       grid.base_seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag_value(a, "--jobs", v)) {
       opt.jobs = std::atoi(v.c_str());
+    } else if (flag_value(a, "--shards", v)) {
+      opt.shards = std::atoi(v.c_str());
+      if (opt.shards <= 0) die(argv[0], "--shards must be positive");
     } else if (flag_value(a, "--format", v)) {
       if (v != "plain" && v != "csv" && v != "json") {
         die(argv[0], "bad --format '" + v + "' (plain | csv | json)");
@@ -265,7 +273,12 @@ CliOptions parse_cli(int argc, char** argv) {
 } // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions opt = parse_cli(argc, argv);
+  CliOptions opt = parse_cli(argc, argv);
+  // The sharded cycle kernel is bit-identical at any shard count, so it can
+  // be applied uniformly to every variant of any grid (named or inline).
+  for (sweep::ParamsVariant& var : opt.job.grid.variants) {
+    var.params.noc.shards = opt.shards;
+  }
   const sweep::SweepGrid& grid = opt.job.grid;
   const std::vector<sweep::SweepPoint> points = grid.expand();
 

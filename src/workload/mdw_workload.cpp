@@ -59,6 +59,9 @@ void usage(const char* argv0) {
       "  --window=N          steady-state window width, cycles (default 10000)\n"
       "  --max-cycles=N      cycle budget (default 2000000000)\n"
       "  --seed=S            base seed (default 1)\n"
+      "  --shards=N          cycle-kernel threads (row strips; clamped to\n"
+      "                      mesh height; default 1 = sequential kernel;\n"
+      "                      results are bit-identical at any value)\n"
       "\n"
       "output:\n"
       "  --save-trace=PATH   materialize the workload to a binary trace and\n"
@@ -80,6 +83,7 @@ struct Options {
   std::string load_trace, save_trace, metrics_json;
   std::uint64_t total_ops = 1'000'000;
   int mesh_w = 16, mesh_h = 16;
+  int shards = 1;
   core::Scheme scheme = core::Scheme::UiUa;
   workload::StreamRunnerOptions run;
   bool print_windows = true;
@@ -182,6 +186,9 @@ Options parse_cli(int argc, char** argv) {
       if (opt.run.window_cycles == 0) die(argv[0], "--window must be positive");
     } else if (flag_value(a, "--max-cycles", v)) {
       opt.run.max_cycles = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag_value(a, "--shards", v)) {
+      opt.shards = std::atoi(v.c_str());
+      if (opt.shards <= 0) die(argv[0], "--shards must be positive");
     } else if (flag_value(a, "--seed", v)) {
       opt.gen.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag_value(a, "--metrics-json", v)) {
@@ -269,12 +276,16 @@ int main(int argc, char** argv) {
   params.mesh_w = opt.mesh_w;
   params.mesh_h = opt.mesh_h;
   params.scheme = opt.scheme;
+  params.noc.shards = opt.shards;
   obs::MetricsRegistry registry;
   dsm::Machine machine(params, &registry);
 
-  std::printf("mdw_workload: %s on %dx%d mesh, scheme %s, %d procs\n",
+  std::printf("mdw_workload: %s on %dx%d mesh, scheme %s, %d procs, "
+              "%d shard%s\n",
               label.c_str(), opt.mesh_w, opt.mesh_h,
-              std::string(core::scheme_name(opt.scheme)).c_str(), nprocs);
+              std::string(core::scheme_name(opt.scheme)).c_str(), nprocs,
+              machine.network().shards(),
+              machine.network().shards() == 1 ? "" : "s");
 
   workload::StreamRunner runner(machine, *src, opt.run);
   const workload::StreamResult r = runner.run();

@@ -12,6 +12,13 @@ StreamRunner::StreamRunner(dsm::Machine& m, StreamSource& src,
   assert(src.nprocs() > 0);
   assert(src.nprocs() <= m.num_nodes());
   warmup_done_ = opt_.warmup_accesses == 0;
+  // Stamp each proc with the cycle-kernel shard owning its home router so
+  // a timeout's describe_stalls() names the strip a stuck proc lives on.
+  if (m_.network().shards() > 1) {
+    for (std::size_t p = 0; p < prog_.size(); ++p) {
+      prog_[p].home_shard = m_.network().shard_of(static_cast<NodeId>(p));
+    }
+  }
 }
 
 StreamRunner::~StreamRunner() {
@@ -23,10 +30,11 @@ StreamResult StreamRunner::run() {
     // Window invalidation latencies as transactions complete; pre-warmup
     // completions are dropped by the warmup_done_ gate, not by the
     // windowing cutoff, so no pre-warmup state accumulates.
-    m_.set_txn_observer([this](const dsm::InvalTxnRecord& rec) {
+    const bool sharded = m_.network().shards() > 1;
+    m_.set_txn_observer([this, sharded](const dsm::InvalTxnRecord& rec) {
       if (warmup_done_) {
-        win_.record_txn(rec.end,
-                        static_cast<double>(rec.end - rec.start));
+        win_.record_txn(rec.end, static_cast<double>(rec.end - rec.start),
+                        sharded ? m_.network().shard_of(rec.home) : -1);
       }
     });
     observer_attached_ = true;

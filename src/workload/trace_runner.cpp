@@ -19,6 +19,7 @@ std::string RunResult::describe_stalls() const {
     os << "proc " << p << ": " << pp.ops_retired << " ops";
     if (pp.at_barrier) os << ", at barrier " << pp.barrier_id;
     else os << ", in flight";
+    if (pp.home_shard >= 0) os << " (home shard " << pp.home_shard << ")";
   }
   return os.str();
 }

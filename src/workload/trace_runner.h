@@ -22,6 +22,10 @@ struct ProcProgress {
   bool done = false;             // stream exhausted
   bool at_barrier = false;       // parked waiting on the barrier below
   std::uint32_t barrier_id = 0;  // valid when at_barrier
+  /// Cycle-kernel shard owning this proc's home router (-1 with the
+  /// sequential kernel): a stall clustered on one shard's strip points at
+  /// the parallel kernel, one spread across shards at the protocol.
+  int home_shard = -1;
 };
 
 struct RunResult {

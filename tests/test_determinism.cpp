@@ -35,11 +35,12 @@ struct Fingerprint {
 };
 
 Fingerprint run_workload(core::Scheme scheme, bool full_sweep,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, int shards = 1) {
   dsm::SystemParams p;
   p.mesh_w = p.mesh_h = 8;
   p.scheme = scheme;
   p.noc.full_sweep = full_sweep;
+  p.noc.shards = shards;
   dsm::Machine m(p);
   sim::Rng rng(seed);
   const int n = m.num_nodes();
@@ -120,6 +121,24 @@ TEST(Determinism, ActiveRegionMatchesFullSweep) {
     const Fingerprint active = run_workload(s, /*full_sweep=*/false, 7);
     const Fingerprint sweep = run_workload(s, /*full_sweep=*/true, 7);
     EXPECT_EQ(active, sweep) << "scheme " << core::scheme_name(s);
+  }
+}
+
+TEST(Determinism, ShardCountInvariance) {
+  // The sharded parallel cycle kernel (DESIGN.md section 14) must be
+  // bit-identical to the sequential kernel: same latencies, flit-hops,
+  // occupancy, and end cycle at every shard count, under both scheduling
+  // modes.  shards=8 on the 8x8 mesh is the one-row-per-shard extreme.
+  for (core::Scheme s : kSchemes) {
+    const Fingerprint seq_active = run_workload(s, /*full_sweep=*/false, 42);
+    const Fingerprint seq_sweep = run_workload(s, /*full_sweep=*/true, 42);
+    for (int shards : {2, 4, 8}) {
+      EXPECT_EQ(run_workload(s, false, 42, shards), seq_active)
+          << "scheme " << core::scheme_name(s) << " shards=" << shards;
+      EXPECT_EQ(run_workload(s, true, 42, shards), seq_sweep)
+          << "scheme " << core::scheme_name(s) << " shards=" << shards
+          << " (full sweep)";
+    }
   }
 }
 

@@ -1,0 +1,232 @@
+// Sharded cycle-kernel pins (DESIGN.md section 14).
+//
+// Three things are locked down here:
+//   1. The shard plan itself: whole-row strips covering every node exactly
+//      once, clamping when more shards are requested than the mesh has rows,
+//      and band checkpoints that name exactly the cross-shard routers within
+//      Manhattan distance 2 — including on non-square meshes, where the
+//      row-major id arithmetic is easiest to get wrong.
+//   2. Bit-identity of the parallel kernel on raw network traffic: the same
+//      unicast burst replayed at several shard counts must produce the same
+//      cycle count, the same flit-hop total, and the same delivery sequence
+//      — (cycle, node, txn) for every delivery, in order.  The delivery
+//      sequence is the observable the phase-1 mailbox merge exists to
+//      protect, so any merge-order bug shows up here directly.
+//   3. The Network-level clamp: NocParams::shards beyond the mesh height
+//      silently degrades to one shard per row, never more threads than rows.
+//
+// (Protocol-level shard invariance — full DSM workloads at shards 1/2/4/8 —
+// is pinned in test_determinism.cpp next to the other fingerprint tests.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "noc/network.h"
+#include "noc/shard_plan.h"
+#include "noc/worm_builder.h"
+#include "sim/rng.h"
+
+namespace mdw::noc {
+namespace {
+
+int manhattan(const MeshShape& mesh, NodeId a, NodeId b) {
+  const Coord ca = mesh.coord_of(a), cb = mesh.coord_of(b);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+TEST(ShardPlan, StripsCoverEveryNodeOnce) {
+  const struct {
+    int w, h, requested;
+  } cases[] = {
+      {8, 8, 4},  {8, 4, 2},  {4, 8, 3},  {5, 3, 2},
+      {12, 6, 6}, {1, 1, 4},  {16, 2, 8}, {7, 5, 5},
+  };
+  for (const auto& c : cases) {
+    const MeshShape mesh(c.w, c.h);
+    const ShardPlan p = compute_shard_plan(mesh, c.requested);
+    EXPECT_GE(p.shards, 1);
+    EXPECT_LE(p.shards, c.h) << c.w << "x" << c.h;
+    EXPECT_EQ(p.shards, static_cast<int>(p.ranges.size()));
+
+    // Strips are contiguous whole-row runs covering [0, n) in order, each
+    // owning at least one row and differing by at most one row in height.
+    int expect_lo = 0, expect_y0 = 0, min_rows = c.h, max_rows = 0;
+    for (const ShardPlan::Range& r : p.ranges) {
+      EXPECT_EQ(r.lo, expect_lo);
+      EXPECT_EQ(r.y0, expect_y0);
+      EXPECT_EQ(r.lo, r.y0 * c.w);
+      EXPECT_EQ(r.hi, r.y1 * c.w);
+      EXPECT_GT(r.y1, r.y0);
+      min_rows = std::min(min_rows, r.y1 - r.y0);
+      max_rows = std::max(max_rows, r.y1 - r.y0);
+      expect_lo = r.hi;
+      expect_y0 = r.y1;
+    }
+    EXPECT_EQ(expect_lo, mesh.num_nodes());
+    EXPECT_EQ(expect_y0, c.h);
+    EXPECT_LE(max_rows - min_rows, 1);
+
+    for (NodeId id = 0; id < mesh.num_nodes(); ++id) {
+      const int s = p.shard_of[static_cast<std::size_t>(id)];
+      EXPECT_GE(id, p.ranges[static_cast<std::size_t>(s)].lo);
+      EXPECT_LT(id, p.ranges[static_cast<std::size_t>(s)].hi);
+    }
+  }
+}
+
+TEST(ShardPlan, BandRemotesAreExactlyCrossShardWithinDistance2) {
+  for (const auto& [w, h, req] : {std::tuple{8, 8, 4}, std::tuple{6, 12, 5},
+                                  std::tuple{9, 4, 4}}) {
+    const MeshShape mesh(w, h);
+    const ShardPlan p = compute_shard_plan(mesh, req);
+    // Collect the plan's (id, remote) pairs.
+    std::vector<std::pair<NodeId, NodeId>> recorded;
+    for (int s = 0; s < p.shards; ++s) {
+      NodeId prev = -1;
+      for (const ShardPlan::Checkpoint& cp : p.band[s]) {
+        EXPECT_GT(cp.id, prev) << "band not ascending";  // ascending id
+        prev = cp.id;
+        EXPECT_EQ(p.shard_of[static_cast<std::size_t>(cp.id)], s);
+        for (NodeId r : cp.remotes) recorded.emplace_back(cp.id, r);
+      }
+    }
+    // Ground truth by brute force: every ordered cross-shard pair within
+    // Manhattan distance 2 (same-row pairs never cross a row-strip cut).
+    std::vector<std::pair<NodeId, NodeId>> expected;
+    for (NodeId a = 0; a < mesh.num_nodes(); ++a) {
+      for (NodeId b = 0; b < mesh.num_nodes(); ++b) {
+        if (a == b || manhattan(mesh, a, b) > 2) continue;
+        if (p.shard_of[static_cast<std::size_t>(a)] !=
+            p.shard_of[static_cast<std::size_t>(b)]) {
+          expected.emplace_back(a, b);
+        }
+      }
+    }
+    std::sort(recorded.begin(), recorded.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(recorded, expected) << w << "x" << h << " shards=" << req;
+  }
+}
+
+TEST(ShardKernel, ShardCountClampsToMeshHeight) {
+  sim::Engine eng;
+  NocParams p;
+  p.shards = 64;
+  Network net(eng, MeshShape(4, 4), p);
+  EXPECT_EQ(net.shards(), 4);
+  for (NodeId id = 0; id < 16; ++id) {
+    EXPECT_EQ(net.shard_of(id), id / 4);  // one row per shard
+  }
+}
+
+/// One delivery observation: everything the protocol layer above could see.
+struct Delivery {
+  Cycle cycle = 0;
+  NodeId where = 0;
+  TxnId txn = 0;
+
+  bool operator==(const Delivery&) const = default;
+};
+
+struct BurstResult {
+  Cycle end_cycle = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t hops = 0;
+  std::vector<Delivery> deliveries;
+
+  bool operator==(const BurstResult&) const = default;
+};
+
+/// Replay a deterministic random-unicast burst (seeded by `seed`) on a
+/// `w` x `h` mesh with the given shard count and record every delivery in
+/// handler-invocation order.
+BurstResult run_burst(int w, int h, int shards, std::uint64_t seed) {
+  sim::Engine eng;
+  const MeshShape mesh(w, h);
+  NocParams params;
+  params.shards = shards;
+  Network net(eng, mesh, params);
+  BurstResult res;
+  net.set_delivery_handler([&](NodeId where, const WormPtr& worm) {
+    res.deliveries.push_back({eng.now(), where, worm->txn});
+  });
+  sim::Rng rng(seed);
+  const int n = mesh.num_nodes();
+  TxnId txn = 0;
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 2 * n; ++i) {
+      const auto s = static_cast<NodeId>(rng.next_below(n));
+      auto dst = static_cast<NodeId>(rng.next_below(n));
+      if (dst == s) dst = (dst + 1) % n;
+      net.inject(make_unicast(mesh, RoutingAlgo::EcubeXY, VNet::Request, s,
+                              dst, 16, ++txn, nullptr));
+    }
+    EXPECT_TRUE(eng.run_to_quiescence(1'000'000));
+  }
+  res.end_cycle = eng.now();
+  res.delivered = net.stats().worms_delivered;
+  res.hops = net.stats().link_flit_hops;
+  EXPECT_EQ(net.worms_in_flight(), 0u);
+  return res;
+}
+
+TEST(ShardKernel, BurstBitIdenticalAcrossShardCounts) {
+  // Non-square both ways round, plus a shard request the 6-row mesh clamps.
+  const struct {
+    int w, h;
+  } meshes[] = {{12, 6}, {6, 12}, {8, 8}};
+  for (const auto& m : meshes) {
+    const BurstResult seq = run_burst(m.w, m.h, 1, 99);
+    EXPECT_GT(seq.delivered, 0u);
+    for (int shards : {2, 3, 8}) {
+      const BurstResult par = run_burst(m.w, m.h, shards, 99);
+      EXPECT_EQ(par, seq) << m.w << "x" << m.h << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardKernel, FullSweepBurstBitIdenticalAcrossShardCounts) {
+  // Same pin under exhaustive-sweep scheduling: the sharded sweep then runs
+  // whole strips instead of bitmap runs, a separate code path.
+  const int w = 10, h = 4;
+  auto run = [&](int shards) {
+    sim::Engine eng;
+    const MeshShape mesh(w, h);
+    NocParams params;
+    params.shards = shards;
+    params.full_sweep = true;
+    Network net(eng, mesh, params);
+    BurstResult res;
+    net.set_delivery_handler([&](NodeId where, const WormPtr& worm) {
+      res.deliveries.push_back({eng.now(), where, worm->txn});
+    });
+    sim::Rng rng(31);
+    const int n = mesh.num_nodes();
+    TxnId txn = 0;
+    for (int i = 0; i < 3 * n; ++i) {
+      const auto s = static_cast<NodeId>(rng.next_below(n));
+      auto dst = static_cast<NodeId>(rng.next_below(n));
+      if (dst == s) dst = (dst + 1) % n;
+      net.inject(make_unicast(mesh, RoutingAlgo::EcubeXY, VNet::Request, s,
+                              dst, 16, ++txn, nullptr));
+    }
+    EXPECT_TRUE(eng.run_to_quiescence(1'000'000));
+    res.end_cycle = eng.now();
+    res.delivered = net.stats().worms_delivered;
+    res.hops = net.stats().link_flit_hops;
+    return res;
+  };
+  const BurstResult seq = run(1);
+  EXPECT_GT(seq.delivered, 0u);
+  for (int shards : {2, 4}) {
+    EXPECT_EQ(run(shards), seq) << "shards=" << shards;
+  }
+}
+
+} // namespace
+} // namespace mdw::noc
