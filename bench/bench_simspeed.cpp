@@ -20,6 +20,10 @@
 //                               through StreamRunner on every node at once —
 //                               the full-machine steady-state regime the
 //                               streaming workload engine sustains.
+//   Svc/<k>x<k>                 a write-heavy stream with 4 outstanding ops
+//                               per node through svc::Session over the
+//                               pipelined (depth 8), coalescing home — the
+//                               service-layer regime.
 //
 // Usage:
 //   bench_simspeed [--label=<s>] [--metrics-json=<path>] [--repeat=<n>]
@@ -294,6 +298,50 @@ void BM_Stream(benchmark::State& state, int mesh_k) {
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Service-layer regime: every node keeps 4 ops in flight through its
+/// svc::Session over a pipelined (depth 8), coalescing (32-cycle window)
+/// home on a write-heavy stream — the E11s machinery under full load, where
+/// the per-home queues, merged worm waves, and the MSHR map all stay hot.
+void BM_Svc(benchmark::State& state, int mesh_k) {
+  dsm::SystemParams p;
+  p.mesh_w = p.mesh_h = mesh_k;
+  p.noc.shards = g_shards;
+  p.scheme = core::Scheme::EcCmHg;
+  p.svc.pipeline_depth = 8;
+  p.svc.coalesce_window = 32;
+  dsm::Machine m(p);
+  workload::GenConfig cfg;
+  cfg.kind = workload::GenKind::WriteHeavy;
+  cfg.nprocs = m.num_nodes();
+  cfg.nblocks = 512;
+  cfg.ops_per_proc = 20;
+  cfg.seed = 29;
+  cfg.group = 8;
+  const auto src = workload::make_generator(cfg, m.network().mesh());
+  workload::StreamRunnerOptions opt;
+  opt.windowed = false;  // measure the engine, not the stats layer
+  opt.outstanding = 4;   // implies service mode
+  std::uint64_t cycles = 0, hops = 0;
+  bool first = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (!first) src->reset();
+    first = false;
+    const Cycle c0 = m.engine().now();
+    const std::uint64_t h0 = m.network().stats().link_flit_hops;
+    state.ResumeTiming();
+    workload::StreamRunner runner(m, *src, opt);
+    benchmark::DoNotOptimize(runner.run());
+    cycles += m.engine().now() - c0;
+    hops += m.network().stats().link_flit_hops - h0;
+  }
+  state.counters["sim_cycles_per_sec"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["flit_hops_per_sec"] =
+      benchmark::Counter(static_cast<double>(hops), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations());
+}
+
 /// Console output plus capture of the per-benchmark rate counters so main()
 /// can emit the --metrics-json trajectory point.
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -429,6 +477,12 @@ int main(int argc, char** argv) {
     const std::string name =
         "Stream/" + std::to_string(mesh) + "x" + std::to_string(mesh);
     benchmark::RegisterBenchmark(name.c_str(), BM_Stream, mesh)
+        ->UseRealTime();
+  }
+  for (int mesh : {16, 32}) {
+    const std::string name =
+        "Svc/" + std::to_string(mesh) + "x" + std::to_string(mesh);
+    benchmark::RegisterBenchmark(name.c_str(), BM_Svc, mesh)
         ->UseRealTime();
   }
 

@@ -56,6 +56,16 @@ def shards_of(point: dict) -> int:
     return int(point.get("shards", 1))
 
 
+def label_of(point: dict) -> str:
+    """A point's label, tolerating hand-edited files with the key missing.
+
+    Every accessor goes through here so a malformed trajectory produces a
+    readable comparison (against '<unlabelled>') rather than a KeyError
+    traceback.
+    """
+    return str(point.get("label", "<unlabelled>"))
+
+
 def mesh_of(name: str) -> int:
     """Mesh edge length from a scenario name like 'Burst/32x32' (0 if none)."""
     for part in name.split("/"):
@@ -71,16 +81,16 @@ def check_regression(points: list[dict], baseline_label: str | None,
     want_shards = shards_of(new)
     candidates = [p for p in points[:-1] if shards_of(p) == want_shards]
     if baseline_label is not None:
-        candidates = [p for p in candidates if p.get("label") == baseline_label]
+        candidates = [p for p in candidates if label_of(p) == baseline_label]
         if not candidates:
-            known = ", ".join(
-                f"{p.get('label', '?')}(shards={shards_of(p)})"
-                for p in points[:-1])
-            sys.exit(f"no baseline point labelled '{baseline_label}' with "
-                     f"shards={want_shards} (known: {known})")
+            known = sorted({
+                f"{label_of(p)}(shards={shards_of(p)})" for p in points[:-1]})
+            sys.exit(f"check_simspeed: no baseline point labelled "
+                     f"'{baseline_label}' with shards={want_shards}; known "
+                     f"points: {', '.join(known)}")
     if not candidates:
         print(f"check_simspeed: no earlier shards={want_shards} point to "
-              f"compare '{new.get('label', '?')}' against; skipping "
+              f"compare '{label_of(new)}' against; skipping "
               f"regression gate")
         return 0
     prev = candidates[-1]
@@ -88,19 +98,19 @@ def check_regression(points: list[dict], baseline_label: str | None,
 
     for name in sorted(set(prev_rates) - set(new_rates)):
         print(f"check_simspeed: warning: scenario '{name}' present only in "
-              f"baseline '{prev['label']}'", file=sys.stderr)
+              f"baseline '{label_of(prev)}'", file=sys.stderr)
     for name in sorted(set(new_rates) - set(prev_rates)):
         print(f"check_simspeed: warning: scenario '{name}' present only in "
-              f"newest point '{new['label']}'", file=sys.stderr)
+              f"newest point '{label_of(new)}'", file=sys.stderr)
 
-    print(f"check_simspeed: '{prev['label']}' -> '{new['label']}' "
+    print(f"check_simspeed: '{label_of(prev)}' -> '{label_of(new)}' "
           f"(shards={want_shards}, tolerance {tolerance:.0%})")
 
     failures = []
     for name in sorted(prev_rates):
         if name not in new_rates:
-            failures.append(f"  {name}: present in '{prev['label']}' but "
-                            f"missing from '{new['label']}'")
+            failures.append(f"  {name}: present in '{label_of(prev)}' but "
+                            f"missing from '{label_of(new)}'")
             continue
         old_v, new_v = prev_rates[name], new_rates[name]
         ratio = new_v / old_v if old_v > 0 else float("inf")
@@ -126,8 +136,8 @@ def check_regression(points: list[dict], baseline_label: str | None,
 
 
 def check_efficiency(points: list[dict], min_efficiency: float) -> None:
-    label = points[-1].get("label")
-    same = [p for p in points if p.get("label") == label]
+    label = label_of(points[-1])
+    same = [p for p in points if label_of(p) == label]
     seq = [p for p in same if shards_of(p) == 1]
     par = [p for p in same if shards_of(p) > 1]
     if not seq or not par:

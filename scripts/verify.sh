@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Full verification: clean build + tier-1 tests, a Release build with a
-# bench_simspeed smoke (catches perf-path code that only breaks under -O2),
-# a rebuild of the observability tests under ASan/UBSan, a UBSan-only build
-# running the complete tier-1 test list (UB in the protocol/planner hot
-# paths shows up here without ASan's run-time cost), and a TSan build of
-# the sweep and sharded-kernel tests (catches data races in the thread-pool
-# grid runner and in the parallel cycle kernel's strip threads).
+# Full verification: clean build + tier-1 tests, a Release build with
+# bench_simspeed + mdw_workload + mdw_service smokes (catches perf-path
+# code that only breaks under -O2; the service smoke asserts coalescing
+# actually fires), a rebuild of the observability + service tests under
+# ASan/UBSan, a UBSan-only build running the complete tier-1 test list
+# (UB in the protocol/planner hot paths shows up here without ASan's
+# run-time cost), and a TSan build of the sweep, sharded-kernel, and
+# service tests (catches data races in the thread-pool grid runner and in
+# the parallel cycle kernel's strip threads).
 #
 #   $ scripts/verify.sh [build-dir]
 set -euo pipefail
@@ -24,13 +26,18 @@ cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
 echo
-echo "=== release: -O3 build + bench_simspeed + mdw_workload smoke (${REL_BUILD}) ==="
+echo "=== release: -O3 build + bench_simspeed + mdw_workload + mdw_service smoke (${REL_BUILD}) ==="
 cmake -B "$REL_BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$REL_BUILD" -j "$JOBS" \
-    --target bench_simspeed test_determinism mdw_workload_cli
+    --target bench_simspeed test_determinism mdw_workload_cli mdw_service_cli
 "$REL_BUILD"/tests/test_determinism
 "$REL_BUILD"/src/workload/mdw_workload --gen=zipfian --mesh=8x8 \
     --ops=20000 --blocks=256 --warmup=1024
+# Service layer: pipelined + coalescing home on a write-heavy stream; the
+# run must complete AND actually merge transactions (--require-coalesce).
+"$REL_BUILD"/src/svc/mdw_service --mesh=16x16 --gen=write-heavy \
+    --ops=50000 --blocks=512 --outstanding=4 --depth=8 --coalesce=32 \
+    --require-coalesce
 "$REL_BUILD"/bench/bench_simspeed --benchmark_min_time=0.05 \
     --benchmark_filter='SingleTxn/16x16/UI-UA|Burst/8x8|Stream/16x16'
 # Same smoke on the sharded kernel: catches -O3-only breaks in the
@@ -43,8 +50,9 @@ echo
 echo "=== sanitizers: ASan/UBSan build, obs + worm-pool + stream tests (${SAN_BUILD}) ==="
 cmake -B "$SAN_BUILD" -S . -DMDW_SANITIZE=address,undefined >/dev/null
 cmake --build "$SAN_BUILD" -j "$JOBS" \
-    --target test_obs_metrics test_worm_pool test_stream test_synthetic
-ctest --test-dir "$SAN_BUILD" -R 'obs|worm_pool|stream|synthetic' \
+    --target test_obs_metrics test_worm_pool test_stream test_synthetic \
+    test_svc
+ctest --test-dir "$SAN_BUILD" -R 'obs|worm_pool|stream|synthetic|svc' \
     --output-on-failure
 
 echo
@@ -57,8 +65,9 @@ echo
 echo "=== sanitizers: TSan build, sweep + worm-pool + sharded-kernel tests (${TSAN_BUILD}) ==="
 cmake -B "$TSAN_BUILD" -S . -DMDW_SANITIZE=thread >/dev/null
 cmake --build "$TSAN_BUILD" -j "$JOBS" \
-    --target test_sweep test_worm_pool test_shard_kernel test_determinism
-ctest --test-dir "$TSAN_BUILD" -R 'sweep|worm_pool|shard_kernel' \
+    --target test_sweep test_worm_pool test_shard_kernel test_determinism \
+    test_svc
+ctest --test-dir "$TSAN_BUILD" -R 'sweep|worm_pool|shard_kernel|svc' \
     --output-on-failure
 # The shard-invariance fingerprints exercise the parallel kernel on full
 # protocol traffic; run just that test under TSan (the rest of the

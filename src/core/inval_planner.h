@@ -67,6 +67,13 @@ struct InvalDirective final : noc::Payload {
   TxnId txn = 0;
   NodeId requester = kInvalidNode;
   BlockAddr addr = 0;           // filled in by the protocol layer
+  /// Coalesced (merged) transaction: every block this worm invalidates.
+  /// Empty for the ordinary single-block case (then `addr` is the block).
+  /// The pattern's sharer set is the UNION of the member blocks' sharers;
+  /// each recipient invalidates every listed block it holds and acks once,
+  /// so the home completes all member transactions on one ack wave
+  /// (DESIGN.md section 15).
+  std::vector<BlockAddr> merged_addrs;
   std::shared_ptr<const InvalPattern> pattern;
 
   [[nodiscard]] NodeId home() const { return pattern->home; }

@@ -1,5 +1,6 @@
 #include "dsm/machine.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -121,15 +122,31 @@ void Machine::snapshot_metrics() {
   reg.counter("router.cons_blocked_cycles").set(cons_blocked);
   reg.counter("router.bank_blocked_cycles").set(bank_blocked);
 
-  std::uint64_t occupancy = 0, sent = 0, received = 0;
+  std::uint64_t occupancy = 0, sent = 0, received = 0, occupancy_peak = 0;
+  std::uint64_t svc_enq = 0, svc_wait = 0, svc_qpeak = 0, svc_ppeak = 0,
+                svc_groups = 0, svc_coalesced = 0;
   for (const auto& n : nodes_) {
     occupancy += n->stats().occupancy_cycles;
+    occupancy_peak = std::max(occupancy_peak, n->stats().occupancy_cycles);
     sent += n->stats().msgs_sent;
     received += n->stats().msgs_received;
+    svc_enq += n->stats().svc_enqueued;
+    svc_wait += n->stats().svc_queue_wait_cycles;
+    svc_qpeak = std::max(svc_qpeak, n->stats().svc_queue_peak);
+    svc_ppeak = std::max(svc_ppeak, n->stats().svc_pipeline_peak);
+    svc_groups += n->stats().svc_groups;
+    svc_coalesced += n->stats().svc_coalesced_txns;
   }
   reg.counter("node.occupancy_cycles").set(occupancy);
+  reg.gauge("node.occupancy_peak").set(static_cast<double>(occupancy_peak));
   reg.counter("node.msgs_sent").set(sent);
   reg.counter("node.msgs_received").set(received);
+  reg.counter("svc.enqueued").set(svc_enq);
+  reg.counter("svc.queue_wait_cycles").set(svc_wait);
+  reg.gauge("svc.queue_peak").set(static_cast<double>(svc_qpeak));
+  reg.gauge("svc.pipeline_peak").set(static_cast<double>(svc_ppeak));
+  reg.counter("svc.groups").set(svc_groups);
+  reg.counter("svc.coalesced_txns").set(svc_coalesced);
 }
 
 bool Machine::all_idle() const {

@@ -1,5 +1,6 @@
 #include "dsm/node.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "dsm/machine.h"
@@ -57,17 +58,16 @@ void Node::send_coh(MsgType t, BlockAddr a, NodeId dst, NodeId requester,
 // ---------------------------------------------------------------------------
 
 void Node::read(BlockAddr a, std::function<void(std::uint64_t)> done) {
-  assert(!op_.active);
-  op_ = CurrentOp{};
-  op_.active = true;
-  op_.is_write = false;
-  op_.addr = a;
-  op_.start = machine_.engine().now();
-  op_.done_read = std::move(done);
+  assert(ops_.count(a) == 0 && "one outstanding access per block");
+  OutstandingOp op;
+  op.is_write = false;
+  op.start = machine_.engine().now();
+  op.done_read = std::move(done);
+  ops_.emplace(a, std::move(op));
   machine_.engine().schedule_after(p_.cache_access, [this, a] {
     if (cache_.lookup(a) != LineState::Invalid) {
       cache_.note_hit();
-      complete_op(cache_.value_of(a));
+      complete_op(a, cache_.value_of(a));
       return;
     }
     cache_.note_miss();
@@ -76,19 +76,18 @@ void Node::read(BlockAddr a, std::function<void(std::uint64_t)> done) {
 }
 
 void Node::write(BlockAddr a, std::uint64_t value, std::function<void()> done) {
-  assert(!op_.active);
-  op_ = CurrentOp{};
-  op_.active = true;
-  op_.is_write = true;
-  op_.addr = a;
-  op_.wvalue = value;
-  op_.start = machine_.engine().now();
-  op_.done_write = std::move(done);
-  machine_.engine().schedule_after(p_.cache_access, [this, a] {
+  assert(ops_.count(a) == 0 && "one outstanding access per block");
+  OutstandingOp op;
+  op.is_write = true;
+  op.wvalue = value;
+  op.start = machine_.engine().now();
+  op.done_write = std::move(done);
+  ops_.emplace(a, std::move(op));
+  machine_.engine().schedule_after(p_.cache_access, [this, a, value] {
     if (cache_.lookup(a) == LineState::Modified) {
       cache_.note_hit();
-      cache_.set_value(a, op_.wvalue);
-      complete_op(op_.wvalue);
+      cache_.set_value(a, value);
+      complete_op(a, value);
       return;
     }
     // Shared (upgrade) and Invalid (miss) both go to the home.
@@ -97,18 +96,18 @@ void Node::write(BlockAddr a, std::uint64_t value, std::function<void()> done) {
   });
 }
 
-void Node::complete_op(std::uint64_t value) {
-  assert(op_.active);
-  const Cycle lat = machine_.engine().now() - op_.start;
-  op_.active = false;
-  if (op_.is_write) {
+void Node::complete_op(BlockAddr a, std::uint64_t value) {
+  auto it = ops_.find(a);
+  assert(it != ops_.end());
+  OutstandingOp op = std::move(it->second);
+  ops_.erase(it);  // before the callback: it may issue a fresh access
+  const Cycle lat = machine_.engine().now() - op.start;
+  if (op.is_write) {
     stats_.write_latency.add(static_cast<double>(lat));
-    auto done = std::move(op_.done_write);
-    if (done) done();
+    if (op.done_write) op.done_write();
   } else {
     stats_.read_latency.add(static_cast<double>(lat));
-    auto done = std::move(op_.done_read);
-    if (done) done(value);
+    if (op.done_read) op.done_read(value);
   }
 }
 
@@ -237,8 +236,8 @@ void Node::dc_write(BlockAddr a, NodeId requester) {
       if (e.sharers.contains(id_)) {
         // The home's own cached copy is invalidated locally (no message).
         e.sharers.erase(id_);
-        if (op_.active && !op_.is_write && op_.addr == a &&
-            cache_.lookup(a) == LineState::Invalid) {
+        if (const auto* op = find_op(a);
+            op && !op->is_write && cache_.lookup(a) == LineState::Invalid) {
           // Our own ReadReply is still in flight; drop the line on arrival.
           pending_inval_.insert(a);
         }
@@ -249,7 +248,7 @@ void Node::dc_write(BlockAddr a, NodeId requester) {
         grant(a, e);
       } else {
         e.state = DirState::Waiting;
-        start_invalidation(a, e);
+        enqueue_invalidation(a);
       }
       break;
     }
@@ -269,6 +268,175 @@ void Node::dc_write(BlockAddr a, NodeId requester) {
       break;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Service layer: per-home invalidation pipeline + coalescing window
+// ---------------------------------------------------------------------------
+//
+// Every needed invalidation passes enqueue -> admit -> launch.  Under the
+// default SvcParams (depth 0 = unbounded, window 0 = off) this collapses to
+// a synchronous call into start_invalidation — event-for-event identical to
+// the pre-service-layer node (pinned by Determinism golden fingerprints).
+// The per-block `Waiting` state provides serialization: a block whose
+// invalidation is queued, parked, or in flight holds every later request to
+// it in its DirEntry queue, so no block ever appears in two transactions.
+
+void Node::enqueue_invalidation(BlockAddr a) {
+  const int depth = p_.svc.pipeline_depth;
+  if (depth > 0 && live_invals_ >= depth) {
+    home_queue_.emplace_back(a, machine_.engine().now());
+    ++stats_.svc_enqueued;
+    stats_.svc_queue_peak = std::max<std::uint64_t>(stats_.svc_queue_peak,
+                                                    home_queue_.size());
+    return;
+  }
+  admit_invalidation(a);
+}
+
+void Node::admit_invalidation(BlockAddr a) {
+  ++live_invals_;
+  stats_.svc_pipeline_peak = std::max<std::uint64_t>(
+      stats_.svc_pipeline_peak, static_cast<std::uint64_t>(live_invals_));
+  if (p_.svc.coalesce_window == 0) {
+    start_invalidation(a, dir_.entry(a));
+    return;
+  }
+  if (coalesce_buf_.empty()) {
+    // First entry of a fresh window: arm the window-expiry flush.
+    const std::uint64_t epoch = ++coalesce_epoch_;
+    machine_.engine().schedule_after(p_.svc.coalesce_window, [this, epoch] {
+      if (epoch == coalesce_epoch_) flush_coalesce();
+    });
+  }
+  coalesce_buf_.push_back(a);
+  if (p_.svc.pipeline_depth > 0 && live_invals_ >= p_.svc.pipeline_depth) {
+    // Pipeline full: nothing further can be admitted into this window, so
+    // waiting longer cannot grow the merge.  Flush early.
+    flush_coalesce();
+  }
+}
+
+void Node::flush_coalesce() {
+  ++coalesce_epoch_;  // cancel any pending window-expiry flush
+  if (coalesce_buf_.empty()) return;
+  std::vector<BlockAddr> blocks = std::move(coalesce_buf_);
+  coalesce_buf_.clear();
+  if (blocks.size() == 1) {
+    start_invalidation(blocks.front(), dir_.entry(blocks.front()));
+    return;
+  }
+  launch_merged(std::move(blocks));
+}
+
+void Node::launch_merged(std::vector<BlockAddr> blocks) {
+  assert(blocks.size() > 1);
+  const TxnId wire = machine_.next_txn();
+
+  // One plan over the union of the members' sharer bitmaps.  Members'
+  // requesters may appear in the union (as sharers of OTHER members); they
+  // are invalidated like any sharer and re-install on their WriteReply.
+  core::SharerBitmap uni;
+  for (const BlockAddr a : blocks) {
+    dir_.entry(a).sharers.for_each([&uni](NodeId n) { uni.insert(n); });
+  }
+  auto plan = machine_.plan_cache().get_or_build(
+      p_.scheme, machine_.network().mesh(), id_, uni, wire, p_.sizing);
+  auto dir = std::const_pointer_cast<InvalDirective>(plan.directive);
+  dir->addr = blocks.front();
+  dir->requester = dir_.entry(blocks.front()).active.requester;
+  dir->merged_addrs = blocks;
+
+  MergedGroup g;
+  g.blocks = blocks;
+  g.acks_needed = uni.count();
+  const Cycle now = machine_.engine().now();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const BlockAddr a = blocks[i];
+    DirEntry& e = dir_.entry(a);
+    ++dir_.stats().inval_txns;
+    // The leader member reuses the wire txn id and carries the plan's worm
+    // counts; later members get their own ids with zero worm counts, so
+    // aggregate traffic accounting stays truthful.
+    const TxnId mtxn = i == 0 ? wire : machine_.next_txn();
+    g.member_txns.push_back(mtxn);
+    e.txn = wire;
+    e.acks_needed = g.acks_needed;
+    e.acks_got = 0;
+
+    InvalTxnRecord rec;
+    rec.addr = a;
+    rec.home = id_;
+    rec.sharers = e.sharers.count();  // the member's own pre-merge d
+    rec.request_worms = i == 0 ? static_cast<int>(plan.request_worms.size()) : 0;
+    rec.ack_messages = i == 0 ? plan.expected_ack_messages : 0;
+    rec.total_ack_worms = i == 0 ? plan.total_ack_worms : 0;
+    rec.start = now;
+    machine_.txn_started(mtxn, rec);
+  }
+  ++stats_.svc_groups;
+  stats_.svc_coalesced_txns += blocks.size();
+  groups_.emplace(wire, std::move(g));
+
+  for (auto& w : plan.request_worms) oc_send(std::move(w));
+
+  if (p_.eager_exclusive_reply) {
+    for (const BlockAddr a : blocks) {
+      DirEntry& e = dir_.entry(a);
+      e.eager_granted = true;
+      send_coh(MsgType::WriteReply, a, e.active.requester, e.active.requester,
+               0, e.mem_value);
+    }
+  }
+}
+
+void Node::release_inval_slots(int n) {
+  live_invals_ -= n;
+  assert(live_invals_ >= 0);
+  const int depth = p_.svc.pipeline_depth;
+  while (!home_queue_.empty() && (depth <= 0 || live_invals_ < depth)) {
+    const auto [a, enq] = home_queue_.front();
+    home_queue_.pop_front();
+    stats_.svc_queue_wait_cycles +=
+        static_cast<std::uint64_t>(machine_.engine().now() - enq);
+    admit_invalidation(a);
+  }
+}
+
+void Node::group_on_ack(TxnId txn, int count) {
+  auto it = groups_.find(txn);
+  assert(it != groups_.end());
+  MergedGroup& g = it->second;
+  g.acks_got += count;
+  assert(g.acks_got <= g.acks_needed);
+  if (g.acks_got < g.acks_needed) return;
+  const MergedGroup done = std::move(it->second);
+  groups_.erase(it);
+  for (std::size_t i = 0; i < done.blocks.size(); ++i) {
+    machine_.txn_finished(done.member_txns[i]);
+    complete_member(done.blocks[i], dir_.entry(done.blocks[i]));
+  }
+  release_inval_slots(static_cast<int>(done.blocks.size()));
+}
+
+void Node::complete_member(BlockAddr a, DirEntry& e) {
+  e.sharers.clear();
+  if (e.eager_granted) {
+    // The WriteReply already went out when the transaction started.
+    e.eager_granted = false;
+    if (e.active.requester == kInvalidNode) {
+      e.state = DirState::Uncached;  // writer already wrote back (RC race)
+      e.owner = kInvalidNode;
+    } else {
+      e.state = DirState::Exclusive;
+      e.owner = e.active.requester;
+    }
+    drain_queue(a);
+    return;
+  }
+  grant(a, e);
+}
+
+// ---------------------------------------------------------------------------
 
 void Node::start_invalidation(BlockAddr a, DirEntry& e) {
   ++dir_.stats().inval_txns;
@@ -308,6 +476,10 @@ void Node::start_invalidation(BlockAddr a, DirEntry& e) {
 }
 
 void Node::dc_on_ack(TxnId txn, int count) {
+  if (groups_.count(txn) > 0) {
+    group_on_ack(txn, count);
+    return;
+  }
   auto it = txn_addr_.find(txn);
   assert(it != txn_addr_.end());
   const BlockAddr a = it->second;
@@ -318,21 +490,8 @@ void Node::dc_on_ack(TxnId txn, int count) {
   if (e.acks_got < e.acks_needed) return;
   txn_addr_.erase(it);
   machine_.txn_finished(txn);
-  e.sharers.clear();
-  if (e.eager_granted) {
-    // The WriteReply already went out when the transaction started.
-    e.eager_granted = false;
-    if (e.active.requester == kInvalidNode) {
-      e.state = DirState::Uncached;  // writer already wrote back (RC race)
-      e.owner = kInvalidNode;
-    } else {
-      e.state = DirState::Exclusive;
-      e.owner = e.active.requester;
-    }
-    drain_queue(a);
-    return;
-  }
-  grant(a, e);
+  complete_member(a, e);
+  release_inval_slots(1);
 }
 
 void Node::dc_on_data(BlockAddr a, NodeId from, std::uint64_t v,
@@ -425,14 +584,17 @@ void Node::cc_schedule(Cycle extra_busy, std::function<void()> fn) {
 
 void Node::cc_invalidation(NodeId here,
                            std::shared_ptr<const InvalDirective> dir) {
-  cc_schedule(p_.cache_access, [this, here, dir = std::move(dir)] {
-    if (op_.active && !op_.is_write && op_.addr == dir->addr &&
-        cache_.lookup(dir->addr) == LineState::Invalid) {
-      // Our ReadReply may be in flight behind this invalidation: the read
-      // still completes, but the incoming line must be dropped.
-      pending_inval_.insert(dir->addr);
+  // A merged directive invalidates every member block: one reception
+  // occupancy, one cache access per block.
+  const Cycle access =
+      static_cast<Cycle>(p_.cache_access) *
+      static_cast<Cycle>(std::max<std::size_t>(1, dir->merged_addrs.size()));
+  cc_schedule(access, [this, here, dir = std::move(dir)] {
+    if (dir->merged_addrs.empty()) {
+      cc_invalidate_block(dir->addr);
+    } else {
+      for (const BlockAddr a : dir->merged_addrs) cc_invalidate_block(a);
     }
-    cache_.invalidate(dir->addr);  // acks are sent even for evicted copies
     switch (dir->roles().at(here)) {
       case SharerRole::UnicastAck:
         send_coh(MsgType::InvalAck, dir->addr, dir->home(), dir->requester,
@@ -448,18 +610,34 @@ void Node::cc_invalidation(NodeId here,
   });
 }
 
+void Node::cc_invalidate_block(BlockAddr a) {
+  if (const auto* op = find_op(a);
+      op && !op->is_write && cache_.lookup(a) == LineState::Invalid) {
+    // Our ReadReply may be in flight behind this invalidation: the read
+    // still completes, but the incoming line must be dropped.
+    pending_inval_.insert(a);
+  }
+  cache_.invalidate(a);  // acks are sent even for evicted copies
+}
+
 void Node::cc_reply(const CohMsg& m) {
   switch (m.type) {
-    case MsgType::ReadReply:
+    case MsgType::ReadReply: {
       install_line(m.addr, LineState::Shared, m.value);
       if (pending_inval_.erase(m.addr) > 0) cache_.invalidate(m.addr);
-      assert(op_.active && !op_.is_write && op_.addr == m.addr);
-      complete_op(m.value);
+      assert([&] {
+        const auto* op = find_op(m.addr);
+        return op != nullptr && !op->is_write;
+      }());
+      complete_op(m.addr, m.value);
       break;
+    }
     case MsgType::WriteReply: {
-      install_line(m.addr, LineState::Modified, op_.wvalue);
-      assert(op_.active && op_.is_write && op_.addr == m.addr);
-      complete_op(op_.wvalue);
+      const auto* op = find_op(m.addr);
+      assert(op != nullptr && op->is_write);
+      const std::uint64_t wv = op->wvalue;
+      install_line(m.addr, LineState::Modified, wv);
+      complete_op(m.addr, wv);
       // Service a recall that overtook this grant.
       if (auto it = pending_recall_.find(m.addr); it != pending_recall_.end()) {
         const bool downgrade_only = it->second;
@@ -485,7 +663,7 @@ void Node::cc_reply(const CohMsg& m) {
 void Node::cc_recall(BlockAddr a, bool downgrade_only) {
   if (wb_pending_.count(a)) return;  // the in-flight Writeback answers it
   if (cache_.lookup(a) != LineState::Modified) {
-    if (op_.active && op_.is_write && op_.addr == a) {
+    if (const auto* op = find_op(a); op && op->is_write) {
       // Early recall: it overtook the WriteReply that makes us the owner.
       pending_recall_[a] = downgrade_only;
       return;

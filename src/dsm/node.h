@@ -6,12 +6,24 @@
 // receptions (recv_occupancy + dir_lookup each), the OC serializes message
 // compositions (send_occupancy each).  Home-node occupancy — the metric the
 // paper optimizes — is the sum of both at the home.
+//
+// The processor interface is MSHR-based: any number of accesses to DISTINCT
+// blocks may be outstanding at once (svc::Session drives this; the legacy
+// harnesses still issue one at a time), while a second access to a block
+// already in flight is a caller error.  The home side carries the service
+// layer's per-home machinery (DESIGN.md section 15): a bounded invalidation
+// pipeline with a FIFO overflow queue, and a coalescing window that merges
+// back-to-back invalidations into one union-sharer-set multidestination
+// worm wave.  Both are off by default (SvcParams) and the defaults are
+// event-for-event identical to the pre-service-layer node.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "core/inval_planner.h"
 #include "dsm/cache.h"
@@ -30,16 +42,31 @@ struct NodeStats {
   std::uint64_t msgs_received = 0;
   sim::Sampler read_latency;            // completed processor reads (cycles)
   sim::Sampler write_latency;
+
+  // Service-layer home-side counters.  The queue/coalesce counters are all
+  // zero under default SvcParams; svc_pipeline_peak is always tracked (it
+  // measures the home's natural invalidation concurrency even when no cap
+  // is configured).
+  std::uint64_t svc_enqueued = 0;        // invals that waited for a pipeline slot
+  std::uint64_t svc_queue_wait_cycles = 0;  // total cycles spent waiting
+  std::uint64_t svc_queue_peak = 0;      // max per-home queue depth observed
+  std::uint64_t svc_pipeline_peak = 0;   // max concurrent inval txns at this home
+  std::uint64_t svc_groups = 0;          // merged (coalesced) launches
+  std::uint64_t svc_coalesced_txns = 0;  // member txns riding merged launches
 };
 
 class Node {
 public:
   Node(Machine& machine, NodeId id, const SystemParams& params);
 
-  /// Processor interface (sequential consistency: one outstanding access).
+  /// Processor interface.  One outstanding access per BLOCK; accesses to
+  /// distinct blocks may overlap (multi-outstanding clients go through
+  /// svc::Session, which also enforces a per-client window).
   void read(BlockAddr a, std::function<void(std::uint64_t value)> done);
   void write(BlockAddr a, std::uint64_t value, std::function<void()> done);
-  [[nodiscard]] bool op_pending() const { return op_.active; }
+  [[nodiscard]] bool op_pending() const { return !ops_.empty(); }
+  [[nodiscard]] int ops_in_flight() const { return static_cast<int>(ops_.size()); }
+  [[nodiscard]] bool op_pending_on(BlockAddr a) const { return ops_.count(a) > 0; }
 
   /// Entry point for every worm delivered (or absorbed) at this node.
   void handle_delivery(const noc::WormPtr& worm);
@@ -51,6 +78,10 @@ public:
   [[nodiscard]] const Directory& directory() const { return dir_; }
   [[nodiscard]] NodeStats& stats() { return stats_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
+
+  /// Service-layer home-side introspection (describe_stalls, metrics).
+  [[nodiscard]] std::size_t svc_queue_depth() const { return home_queue_.size(); }
+  [[nodiscard]] int svc_live_invals() const { return live_invals_; }
 
 private:
   // --- outgoing controller ------------------------------------------------
@@ -73,14 +104,32 @@ private:
   void grant(BlockAddr a, DirEntry& e);
   void drain_queue(BlockAddr a);
 
+  // --- service layer: per-home inval pipeline + coalescing ----------------
+  /// Gate a needed invalidation through the per-home pipeline (entry is
+  /// already Waiting with its sharer set pruned).  Legacy defaults fall
+  /// straight through to start_invalidation.
+  void enqueue_invalidation(BlockAddr a);
+  /// A pipeline slot is taken: launch now, or park in the coalescing buffer.
+  void admit_invalidation(BlockAddr a);
+  /// Launch everything parked in the coalescing buffer (merged when > 1).
+  void flush_coalesce();
+  /// Plan + launch one merged transaction over the union sharer bitmap.
+  void launch_merged(std::vector<BlockAddr> blocks);
+  /// Complete one member entry of a finished (single or merged) transaction.
+  void complete_member(BlockAddr a, DirEntry& e);
+  /// Release `n` pipeline slots and admit queued invalidations.
+  void release_inval_slots(int n);
+  void group_on_ack(TxnId txn, int count);
+
   // --- cache controller (sharer side) --------------------------------------
   void cc_schedule(Cycle extra_busy, std::function<void()> fn);
   void cc_invalidation(NodeId here,
                        std::shared_ptr<const core::InvalDirective> dir);
+  void cc_invalidate_block(BlockAddr a);
   void cc_recall(BlockAddr a, bool downgrade_only);
   void cc_reply(const CohMsg& m);
   void install_line(BlockAddr a, LineState st, std::uint64_t value);
-  void complete_op(std::uint64_t value);
+  void complete_op(BlockAddr a, std::uint64_t value);
 
   Machine& machine_;
   NodeId id_;
@@ -93,15 +142,20 @@ private:
   Cycle dc_free_at_ = 0;
   Cycle cc_free_at_ = 0;
 
-  struct CurrentOp {
-    bool active = false;
+  /// One outstanding processor access (MSHR entry), keyed by block.
+  struct OutstandingOp {
     bool is_write = false;
-    BlockAddr addr = 0;
     std::uint64_t wvalue = 0;
     Cycle start = 0;
     std::function<void(std::uint64_t)> done_read;
     std::function<void()> done_write;
-  } op_;
+  };
+  std::unordered_map<BlockAddr, OutstandingOp> ops_;
+
+  [[nodiscard]] OutstandingOp* find_op(BlockAddr a) {
+    auto it = ops_.find(a);
+    return it == ops_.end() ? nullptr : &it->second;
+  }
 
   /// Modified-line evictions awaiting WritebackAck (non-silent writebacks;
   /// Recalls for these lines are ignored — the in-flight Writeback serves
@@ -120,6 +174,30 @@ private:
 
   /// Home-side: transaction id -> block of the in-flight invalidation.
   std::unordered_map<TxnId, BlockAddr> txn_addr_;
+
+  // --- service-layer home-side state (idle under default SvcParams) -------
+  /// In-flight invalidation transactions at this home (members of a merged
+  /// group each count as one — they are distinct logical transactions).
+  int live_invals_ = 0;
+  /// Blocks whose invalidation waits for a pipeline slot, FIFO, with the
+  /// enqueue cycle for queue-wait accounting.
+  std::deque<std::pair<BlockAddr, Cycle>> home_queue_;
+  /// Admitted blocks parked for merging until the window flush.
+  std::vector<BlockAddr> coalesce_buf_;
+  /// Bumped on every flush; a scheduled window-expiry flush only fires if
+  /// its captured epoch is still current (cancels stale timers after an
+  /// early pipeline-full flush).
+  std::uint64_t coalesce_epoch_ = 0;
+
+  /// One coalesced launch: member blocks + their per-member machine txn
+  /// ids, completed together on the shared ack wave (wire txn is the key).
+  struct MergedGroup {
+    std::vector<BlockAddr> blocks;
+    std::vector<TxnId> member_txns;
+    int acks_needed = 0;
+    int acks_got = 0;
+  };
+  std::unordered_map<TxnId, MergedGroup> groups_;
 };
 
 } // namespace mdw::dsm

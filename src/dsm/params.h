@@ -14,6 +14,25 @@
 
 namespace mdw::dsm {
 
+/// Coherence-service-layer knobs (DESIGN.md section 15).  The defaults
+/// (0, 0) reproduce the legacy home behaviour exactly: invalidation
+/// transactions launch the moment the directory decides one is needed,
+/// with no per-home concurrency cap and no merging.
+struct SvcParams {
+  /// Per-home invalidation pipeline depth: at most this many invalidation
+  /// transactions in flight at one home; further writes queue FIFO in the
+  /// directory controller.  0 = unbounded (legacy).  1 serializes the home
+  /// (the E11s baseline); k > 1 overlaps k transactions.
+  int pipeline_depth = 0;
+  /// Coalescing window (cycles).  When > 0, an admitted invalidation is
+  /// held up to this long; others admitted at the same home in the window
+  /// merge with it — one plan over the UNION of their sharer bitmaps, one
+  /// multidestination worm wave, one ack wave completing every member.
+  /// Effective only with pipeline_depth != 1 (depth 1 admits one at a
+  /// time, so there is never a second transaction to merge with).
+  Cycle coalesce_window = 0;
+};
+
 struct SystemParams {
   int mesh_w = 16;
   int mesh_h = 16;
@@ -35,6 +54,7 @@ struct SystemParams {
 
   noc::NocParams noc{};
   noc::WormSizing sizing{};
+  SvcParams svc{};
 
   /// Bound on the invalidation-plan memo table (core::PlanCache); 0 disables
   /// memoization.  Purely a simulator-speed knob: results are bit-identical

@@ -12,6 +12,9 @@ double traffic(const PointResult& r) { return r.m.traffic_flits; }
 double makespan(const PointResult& r) { return r.makespan; }
 double acc_rate(const PointResult& r) { return r.accesses_per_kcycle; }
 double txn_rate(const PointResult& r) { return r.txns_per_kcycle; }
+double occ_peak(const PointResult& r) { return r.home_occupancy_peak; }
+double pipe_peak(const PointResult& r) { return r.svc_pipeline_peak; }
+double coalesced(const PointResult& r) { return r.svc_coalesced_txns; }
 
 std::vector<NamedGrid> build_grids() {
   std::vector<NamedGrid> out;
@@ -102,6 +105,38 @@ std::vector<NamedGrid> build_grids() {
     g.metrics = {{"steady inval latency (cycles)", latency, 1},
                  {"steady accesses per kcycle", acc_rate, 1},
                  {"steady inval txns per kcycle", txn_rate, 1}};
+    out.push_back(std::move(g));
+  }
+  {
+    NamedGrid g;
+    g.name = "e11s";
+    g.description = "service-layer occupancy vs offered load: client "
+                    "outstanding ops x scheme (16x16 mesh, write-heavy "
+                    "stream, home pipeline depth 8, 32-cycle coalescing "
+                    "window, 400 ops/proc after a 2048-access warmup)";
+    g.grid.schemes = {core::Scheme::UiUa, core::Scheme::EcCmUa,
+                      core::Scheme::EcCmCg, core::Scheme::EcCmHg,
+                      core::Scheme::WfScSg};
+    g.grid.meshes = {16};
+    g.grid.sharers = {8};  // accessor-group size per block
+    // For streaming points the concurrency axis is the client load knob:
+    // ops each processor keeps in flight through its svc::Session.
+    g.grid.concurrency = {1, 2, 4, 8};
+    ParamsVariant svc;
+    svc.name = "svc-d8-w32";
+    svc.params.svc.pipeline_depth = 8;
+    svc.params.svc.coalesce_window = 32;
+    g.grid.variants = {svc};
+    g.grid.gens = {workload::GenKind::WriteHeavy};
+    g.grid.gen_ops_per_proc = 400;
+    g.grid.gen_warmup_accesses = 2048;
+    g.grid.gen_blocks = 512;
+    g.axis = RowAxis::Concurrency;
+    g.metrics = {{"steady accesses per kcycle", acc_rate, 1},
+                 {"steady inval latency (cycles)", latency, 1},
+                 {"peak home occupancy (cycles)", occ_peak, 0},
+                 {"peak inval pipeline depth", pipe_peak, 0},
+                 {"coalesced member txns", coalesced, 0}};
     out.push_back(std::move(g));
   }
   return out;

@@ -1,10 +1,11 @@
-// The paper's evaluation grids by name (e3, e4, e5, e8, e10s), shared by
-// the mdw_sweep CLI and the migrated bench binaries.  Each migrated grid
-// pins the exact axes AND the pre-migration per-point seed formula of its
-// bench, so the tables it produces are bit-identical to the historical
-// serial output (EXPERIMENTS.md) for any worker count.  e10s is the
-// streaming-workload grid (synthetic generator x scheme, steady-state
-// windowed metrics).
+// The paper's evaluation grids by name (e3, e4, e5, e8, e10s, e11s),
+// shared by the mdw_sweep CLI and the migrated bench binaries.  Each
+// migrated grid pins the exact axes AND the pre-migration per-point seed
+// formula of its bench, so the tables it produces are bit-identical to the
+// historical serial output (EXPERIMENTS.md) for any worker count.  e10s is
+// the streaming-workload grid (synthetic generator x scheme, steady-state
+// windowed metrics); e11s is the service-layer occupancy-vs-load grid
+// (client outstanding ops x scheme over the pipelined, coalescing home).
 #pragma once
 
 #include <string>
@@ -33,7 +34,7 @@ struct NamedGrid {
 /// Look up a named grid; nullptr when unknown.
 [[nodiscard]] const NamedGrid* named_grid(std::string_view name);
 
-/// "e3, e4, e5, e8, e10s" (for usage messages).
+/// "e3, e4, e5, e8, e10s, e11s" (for usage messages).
 [[nodiscard]] std::string named_grid_list();
 
 } // namespace mdw::sweep

@@ -104,7 +104,12 @@ void write_points_json(std::ostream& os, const std::vector<SweepPoint>& points,
       if (pt.gen != workload::GenKind::None) {
         os << ", \"accesses_per_kcycle\": " << r.accesses_per_kcycle
            << ", \"txns_per_kcycle\": " << r.txns_per_kcycle
-           << ", \"steady_accesses\": " << r.steady_accesses;
+           << ", \"steady_accesses\": " << r.steady_accesses
+           << ", \"home_occupancy_peak\": " << r.home_occupancy_peak
+           << ", \"svc_pipeline_peak\": " << r.svc_pipeline_peak
+           << ", \"svc_queue_peak\": " << r.svc_queue_peak
+           << ", \"svc_queue_wait\": " << r.svc_queue_wait
+           << ", \"svc_coalesced_txns\": " << r.svc_coalesced_txns;
       }
     }
     os << "}";

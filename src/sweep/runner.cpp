@@ -1,5 +1,6 @@
 #include "sweep/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -38,6 +39,11 @@ PointResult run_stream_point(const SweepPoint& pt,
 
   workload::StreamRunnerOptions opt;
   opt.warmup_accesses = pt.gen_warmup;
+  // For streaming points the concurrency axis is the CLIENT load knob:
+  // ops each processor keeps in flight through its svc::Session (0 keeps
+  // the classic blocking loop).  Hot-spot semantics apply only to
+  // gen == None points.
+  opt.outstanding = pt.concurrent > 0 ? pt.concurrent : 1;
   workload::StreamRunner runner(m, *src, opt);
   const workload::StreamResult r = runner.run();
 
@@ -46,10 +52,22 @@ PointResult run_stream_point(const SweepPoint& pt,
   out.m.inval_latency_p50 = r.lat_p50;
   out.m.inval_latency_p90 = r.lat_p90;
   out.m.inval_latency_p99 = r.lat_p99;
+  out.m.occupancy = static_cast<double>(m.total_occupancy());
   out.makespan = static_cast<double>(r.cycles);
   out.accesses_per_kcycle = r.accesses_per_kcycle;
   out.txns_per_kcycle = r.txns_per_kcycle;
   out.steady_accesses = r.steady_accesses;
+  for (NodeId id = 0; id < m.num_nodes(); ++id) {
+    const dsm::NodeStats& ns = m.node(id).stats();
+    out.home_occupancy_peak = std::max(
+        out.home_occupancy_peak, static_cast<double>(ns.occupancy_cycles));
+    out.svc_pipeline_peak = std::max(
+        out.svc_pipeline_peak, static_cast<double>(ns.svc_pipeline_peak));
+    out.svc_queue_peak = std::max(out.svc_queue_peak,
+                                  static_cast<double>(ns.svc_queue_peak));
+    out.svc_queue_wait += static_cast<double>(ns.svc_queue_wait_cycles);
+    out.svc_coalesced_txns += static_cast<double>(ns.svc_coalesced_txns);
+  }
   runner.snapshot_metrics(registry);
   m.snapshot_metrics();
   return out;

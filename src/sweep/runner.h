@@ -39,6 +39,13 @@ struct PointResult {
   double accesses_per_kcycle = 0;  // steady-state accesses per 1000 cycles
   double txns_per_kcycle = 0;      // steady-state inval txns per 1000 cycles
   std::uint64_t steady_accesses = 0;
+  // Service-layer extras (streaming points; the e11s occupancy-vs-load
+  // columns).  All zero when the run never queued or merged anything.
+  double home_occupancy_peak = 0;  // busiest node's DC+OC busy cycles
+  double svc_pipeline_peak = 0;    // max concurrent inval txns at one home
+  double svc_queue_peak = 0;       // deepest per-home pipeline queue
+  double svc_queue_wait = 0;       // total cycles invals waited for a slot
+  double svc_coalesced_txns = 0;   // member txns that rode merged worm waves
 };
 
 /// Everything a sweep produces: index-aligned per-point results plus the

@@ -107,6 +107,12 @@ bool decode_trace(const std::uint8_t* data, std::size_t size, Trace& out,
   for (std::uint64_t p = 0; p < nprocs; ++p) {
     const std::uint64_t count = r.varint();
     if (!r.ok) return fail(error, "truncated op count");
+    // Every op is at least one tag byte, so a count exceeding the remaining
+    // payload is corrupt.  Checking BEFORE reserve() keeps an adversarial
+    // count (e.g. 2^60) from forcing a multi-exabyte allocation attempt.
+    if (count > static_cast<std::uint64_t>(r.end - r.p)) {
+      return fail(error, "op count exceeds remaining payload");
+    }
     auto& stream = t.per_proc[p];
     stream.reserve(count);
     BlockAddr prev = 0;
@@ -118,12 +124,17 @@ bool decode_trace(const std::uint8_t* data, std::size_t size, Trace& out,
       op.kind = static_cast<OpKind>(tag & 0x3u);
       if (op.kind == OpKind::Read || op.kind == OpKind::Write) {
         const std::int64_t delta = unzigzag(r.varint());
-        op.addr = static_cast<BlockAddr>(static_cast<std::int64_t>(prev) +
-                                         delta);
+        const std::int64_t addr = static_cast<std::int64_t>(prev) + delta;
+        if (addr < 0) return fail(error, "block address delta underflows");
+        op.addr = static_cast<BlockAddr>(addr);
         prev = op.addr;
       }
       if ((tag & 0x4u) != 0) {
-        op.arg = static_cast<std::uint32_t>(r.varint());
+        const std::uint64_t arg = r.varint();
+        if (arg > 0xFFFFFFFFull) {
+          return fail(error, "op arg exceeds 32 bits");
+        }
+        op.arg = static_cast<std::uint32_t>(arg);
       }
       if (!r.ok) return fail(error, "truncated op");
       stream.push_back(op);

@@ -11,7 +11,21 @@ StreamRunner::StreamRunner(dsm::Machine& m, StreamSource& src,
       prog_(static_cast<std::size_t>(src.nprocs())) {
   assert(src.nprocs() > 0);
   assert(src.nprocs() <= m.num_nodes());
+  if (opt_.outstanding > 1) opt_.use_service = true;
+  assert(opt_.outstanding >= 1);
   warmup_done_ = opt_.warmup_accesses == 0;
+  if (opt_.use_service) {
+    sstate_.resize(prog_.size());
+    sessions_.reserve(prog_.size());
+    for (int p = 0; p < src.nprocs(); ++p) {
+      svc::SessionOptions so;
+      so.max_outstanding = opt_.outstanding;
+      auto s = std::make_unique<svc::Session>(m_, static_cast<NodeId>(p), so);
+      s->set_on_complete(
+          [this, p](const svc::OpResult&) { svc_on_done(p); });
+      sessions_.push_back(std::move(s));
+    }
+  }
   // Stamp each proc with the cycle-kernel shard owning its home router so
   // a timeout's describe_stalls() names the strip a stuck proc lives on.
   if (m_.network().shards() > 1) {
@@ -44,13 +58,26 @@ StreamResult StreamRunner::run() {
   for (int p = 0; p < n; ++p) {
     // Stagger the very first issue slightly so node 0 doesn't always win
     // arbitration at cycle 0.
-    m_.engine().schedule_after(static_cast<Cycle>(p % 4),
-                               [this, p] { step(p); });
+    m_.engine().schedule_after(static_cast<Cycle>(p % 4), [this, p] {
+      if (opt_.use_service) fill(p);
+      else step(p);
+    });
   }
   StreamResult r;
   const Cycle t0 = m_.engine().now();
   r.completed = m_.engine().run_until([&] { return done_procs_ == n; },
                                       opt_.max_cycles);
+  if (!r.completed) {
+    // Snapshot the diagnosis state NOW: the quiescence drain below retires
+    // in-flight accesses and empties the home queues, which would make a
+    // timed-out run look like nothing was stuck.
+    r.procs = prog_;
+    r.home_queue_depths.resize(static_cast<std::size_t>(m_.num_nodes()));
+    for (NodeId id = 0; id < m_.num_nodes(); ++id) {
+      r.home_queue_depths[static_cast<std::size_t>(id)] =
+          m_.node(id).svc_queue_depth();
+    }
+  }
   // Let in-flight acknowledgments settle for accurate traffic counters.
   (void)m_.engine().run_to_quiescence(1'000'000);
   end_cycle_ = m_.engine().now();
@@ -62,7 +89,7 @@ StreamResult StreamRunner::run() {
 
   r.cycles = end_cycle_ - t0;
   r.accesses = accesses_;
-  r.procs = prog_;
+  if (r.completed) r.procs = prog_;  // timed-out runs keep the snapshot
   if (opt_.windowed && warmup_done_) {
     r.warmup_end = win_.warmup_end();
     r.steady_cycles = end_cycle_ > r.warmup_end ? end_cycle_ - r.warmup_end
@@ -131,6 +158,93 @@ void StreamRunner::on_access_done(int proc) {
   m_.engine().schedule_after(opt_.think, [this, proc] { step(proc); });
 }
 
+// --------------------------------------------------------------------------
+// Service mode: each proc keeps `outstanding` ops in flight through its
+// svc::Session; one completion plus one think time re-fills the freed slot.
+// With outstanding == 1 the issue/complete/think schedule is identical to
+// the classic step/on_access_done loop (pinned in test_determinism).
+// --------------------------------------------------------------------------
+
+void StreamRunner::fill(int proc) {
+  auto& pp = prog_[static_cast<std::size_t>(proc)];
+  auto& ps = sstate_[static_cast<std::size_t>(proc)];
+  if (pp.done || ps.at_barrier_wait) return;
+  while (ps.inflight < opt_.outstanding) {
+    TraceOp op;
+    if (!src_.next(proc, op)) {
+      ps.exhausted = true;
+      if (ps.inflight == 0) {
+        pp.done = true;
+        ++done_procs_;
+      }
+      return;
+    }
+    ++pp.ops_retired;
+    switch (op.kind) {
+      case OpKind::Read:
+        ++accesses_;
+        ++ps.inflight;
+        (void)sessions_[static_cast<std::size_t>(proc)]->read(op.addr);
+        break;
+      case OpKind::Write:
+        ++accesses_;
+        ++ps.inflight;
+        (void)sessions_[static_cast<std::size_t>(proc)]->write(
+            op.addr, m_.engine().now());
+        break;
+      case OpKind::Think:
+        // The think gates further ISSUE only; in-flight ops keep going.
+        m_.engine().schedule_after(op.arg, [this, proc] { fill(proc); });
+        return;
+      case OpKind::Barrier:
+        ps.at_barrier_wait = true;
+        ps.barrier_id = op.arg;
+        // Barrier semantics: arrive only once the window drains.
+        if (ps.inflight == 0) reach_barrier(proc, op.arg);
+        return;
+    }
+  }
+}
+
+void StreamRunner::svc_on_done(int proc) {
+  auto& pp = prog_[static_cast<std::size_t>(proc)];
+  auto& ps = sstate_[static_cast<std::size_t>(proc)];
+  --ps.inflight;
+  assert(ps.inflight >= 0);
+  ++completed_accesses_;
+  if (opt_.windowed) {
+    if (!warmup_done_) {
+      if (completed_accesses_ >= opt_.warmup_accesses) {
+        warmup_done_ = true;
+        win_.set_warmup_end(m_.engine().now());
+      }
+    } else {
+      win_.record_access(m_.engine().now());
+    }
+  }
+  if (ps.at_barrier_wait) {
+    if (ps.inflight == 0) reach_barrier(proc, ps.barrier_id);
+    return;
+  }
+  if (ps.exhausted) {
+    if (ps.inflight == 0 && !pp.done) {
+      pp.done = true;
+      ++done_procs_;
+    }
+    return;
+  }
+  m_.engine().schedule_after(opt_.think, [this, proc] { fill(proc); });
+}
+
+void StreamRunner::resume(int proc) {
+  if (opt_.use_service) {
+    sstate_[static_cast<std::size_t>(proc)].at_barrier_wait = false;
+    fill(proc);
+  } else {
+    step(proc);
+  }
+}
+
 void StreamRunner::reach_barrier(int proc, std::uint32_t id) {
   assert(id == barrier_id_);
   auto& pp = prog_[static_cast<std::size_t>(proc)];
@@ -143,7 +257,7 @@ void StreamRunner::reach_barrier(int proc, std::uint32_t id) {
   ++barrier_id_;
   for (int p = 0; p < src_.nprocs(); ++p) {
     prog_[static_cast<std::size_t>(p)].at_barrier = false;
-    m_.engine().schedule_after(1, [this, p] { step(p); });
+    m_.engine().schedule_after(1, [this, p] { resume(p); });
   }
 }
 

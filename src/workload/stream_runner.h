@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dsm/machine.h"
 #include "obs/windowed.h"
+#include "svc/service.h"
 #include "workload/stream.h"
 #include "workload/trace_runner.h"
 
@@ -31,6 +33,15 @@ struct StreamRunnerOptions {
   /// Collect windowed stats (the txn observer + per-access bookkeeping).
   /// TraceRunner turns this off to stay a pure replay.
   bool windowed = true;
+  /// Drive each processor through a svc::Session (the async coherence
+  /// service API) instead of the classic blocking read/write path.  With
+  /// outstanding == 1 the two paths are fingerprint-identical (pinned in
+  /// test_determinism); outstanding > 1 implies service mode.
+  bool use_service = false;
+  /// Ops each processor keeps in flight (closed loop: a completion plus
+  /// one think time re-fills the window).  Values > 1 require service mode
+  /// and are the load knob of EXPERIMENTS.md E11s.
+  int outstanding = 1;
 };
 
 /// RunResult plus the steady-state view.  Throughputs are normalized per
@@ -68,14 +79,27 @@ public:
 
 private:
   void step(int proc);
+  void fill(int proc);  // service-mode issue loop: keep the window full
   void on_access_done(int proc);
+  void svc_on_done(int proc);
   void reach_barrier(int proc, std::uint32_t id);
+  void resume(int proc);  // barrier release -> step or fill by mode
+
+  /// Per-proc closed-loop state for service mode.
+  struct SvcProcState {
+    int inflight = 0;          // ops handed to the session, not yet complete
+    bool exhausted = false;    // source returned false
+    bool at_barrier_wait = false;  // barrier pulled; draining the window
+    std::uint32_t barrier_id = 0;
+  };
 
   dsm::Machine& m_;
   StreamSource& src_;
   StreamRunnerOptions opt_;
   obs::WindowedStats win_;
   std::vector<ProcProgress> prog_;
+  std::vector<std::unique_ptr<svc::Session>> sessions_;  // service mode only
+  std::vector<SvcProcState> sstate_;
   int done_procs_ = 0;
   int barrier_waiting_ = 0;
   std::uint32_t barrier_id_ = 0;

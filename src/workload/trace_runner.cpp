@@ -21,6 +21,18 @@ std::string RunResult::describe_stalls() const {
     else os << ", in flight";
     if (pp.home_shard >= 0) os << " (home shard " << pp.home_shard << ")";
   }
+  bool label_pending = true;
+  for (std::size_t h = 0; h < home_queue_depths.size(); ++h) {
+    if (home_queue_depths[h] == 0) continue;
+    if (label_pending) {
+      if (!first) os << "; ";
+      os << "home queues:";
+      label_pending = false;
+    } else {
+      os << ",";
+    }
+    os << " node " << h << "=" << home_queue_depths[h];
+  }
   return os.str();
 }
 
@@ -42,6 +54,7 @@ RunResult TraceRunner::run(Cycle max_cycles) {
   r.accesses = s.accesses;
   r.completed = s.completed;
   r.procs = std::move(s.procs);
+  r.home_queue_depths = std::move(s.home_queue_depths);
   return r;
 }
 

@@ -33,9 +33,16 @@ struct RunResult {
   std::size_t accesses = 0;      // reads + writes replayed
   bool completed = false;
   std::vector<ProcProgress> procs;  // per-proc progress (timeout diagnosis)
+  /// Per-home service-layer invalidation queue depth (index = node id),
+  /// sampled at the moment the cycle budget expired; empty for completed
+  /// runs.  A stall with deep home queues points at invalidation
+  /// backpressure (pipeline_depth too small for the offered load), one with
+  /// empty queues at the protocol or the network.
+  std::vector<std::size_t> home_queue_depths;
 
   /// One-line summary of stuck processors ("proc 3: 17 ops, at barrier 2;
-  /// ..."), empty when every processor completed.
+  /// ..."), plus any non-empty per-home invalidation queues; empty when
+  /// every processor completed.
   [[nodiscard]] std::string describe_stalls() const;
 };
 

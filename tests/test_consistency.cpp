@@ -131,6 +131,29 @@ TEST_P(Consistency, WriterEvictionDuringOutstandingTxn) {
   EXPECT_EQ(got, 7u);
 }
 
+TEST_P(Consistency, BackToBackWritesSerializeUnderPipelinedHome) {
+  // The same per-block serialization guarantee must hold when the home
+  // pipelines invalidations: the Waiting state, not the one-at-a-time home,
+  // is what orders same-block writes (DESIGN.md section 15).
+  for (int depth : {2, 4, 8}) {
+    auto p = params(GetParam(), true);
+    p.svc.pipeline_depth = depth;
+    Machine m(p);
+    share_block(m, 3, {0, 1, 2, 5, 9, 10});
+    bool w1 = false, w2 = false;
+    m.node(7).write(3, 1, [&] { w1 = true; });
+    m.node(8).write(3, 2, [&] { w2 = true; });
+    ASSERT_TRUE(m.engine().run_until([&] { return w1 && w2; }, 10'000'000));
+    EXPECT_TRUE(m.engine().run_to_quiescence(5'000'000));
+    const auto* e = m.node(3).directory().find(3);
+    EXPECT_EQ(e->state, DirState::Exclusive) << "depth " << depth;
+    EXPECT_EQ(e->owner, 8) << "depth " << depth;
+    EXPECT_EQ(m.node(7).cache().lookup(3), LineState::Invalid);
+    const std::string err = m.check_coherence();
+    EXPECT_TRUE(err.empty()) << "depth " << depth << "\n" << err;
+  }
+}
+
 TEST_P(Consistency, RandomStressStaysCoherentAtQuiescence) {
   Machine m(params(GetParam(), true));
   sim::Rng rng(555 + static_cast<int>(GetParam()));
@@ -152,6 +175,38 @@ TEST_P(Consistency, RandomStressStaysCoherentAtQuiescence) {
   ASSERT_TRUE(m.engine().run_to_quiescence(5'000'000));
   const std::string err = m.check_coherence();
   EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST_P(Consistency, RandomStressCoherentAtEveryPipelineDepth) {
+  // The pipelined + coalescing home must uphold the same end-state
+  // invariants as the legacy one-at-a-time home under random contention.
+  for (int depth : {2, 4, 8}) {
+    auto p = params(GetParam(), true);
+    p.svc.pipeline_depth = depth;
+    p.svc.coalesce_window = 16;
+    Machine m(p);
+    sim::Rng rng(900 + static_cast<int>(GetParam()) * 10 + depth);
+    const int n = m.num_nodes();
+    std::vector<int> remaining(n, 30);
+    std::uint64_t next_value = 1;
+    std::function<void(NodeId)> issue = [&](NodeId id) {
+      if (remaining[id]-- <= 0) return;
+      const BlockAddr a = rng.next_below(16);
+      if (rng.next_bool(0.5)) {
+        m.node(id).write(a, next_value++, [&, id] { issue(id); });
+      } else {
+        m.node(id).read(a, [&, id](std::uint64_t) { issue(id); });
+      }
+    };
+    for (NodeId id = 0; id < n; ++id) issue(id);
+    ASSERT_TRUE(
+        m.engine().run_until([&] { return m.all_idle(); }, 100'000'000))
+        << core::scheme_name(GetParam()) << " depth " << depth;
+    ASSERT_TRUE(m.engine().run_to_quiescence(5'000'000));
+    const std::string err = m.check_coherence();
+    EXPECT_TRUE(err.empty())
+        << core::scheme_name(GetParam()) << " depth " << depth << "\n" << err;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, Consistency,

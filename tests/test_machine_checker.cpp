@@ -4,6 +4,9 @@
 // tiny meshes (edge geometry).
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <vector>
+
 #include "core/inval_planner.h"
 #include "dsm/machine.h"
 #include "sim/rng.h"
@@ -80,6 +83,59 @@ TEST(Checker, DetectsStuckWaiting) {
   m.node(1).directory().entry(5).state = DirState::Waiting;
   const auto err = m.check_coherence();
   EXPECT_NE(err.find("stuck in Waiting"), std::string::npos) << err;
+}
+
+TEST(Checker, CatchesViolationsUnderPipelinedHome) {
+  // The checker's invariants are pipeline-agnostic: a hand-broken state on a
+  // machine configured with a deep home pipeline and a coalescing window is
+  // still reported.  (Guards against the checker accidentally special-casing
+  // service-layer state.)
+  for (int depth : {2, 4, 8}) {
+    auto p = tiny();
+    p.svc.pipeline_depth = depth;
+    p.svc.coalesce_window = 16;
+    Machine m(p);
+    EXPECT_TRUE(m.check_coherence().empty()) << "depth " << depth;
+    m.node(1).cache().install(5, LineState::Modified, 1);
+    m.node(2).cache().install(5, LineState::Modified, 2);
+    auto& e = m.node(1).directory().entry(5);
+    e.state = DirState::Exclusive;
+    e.owner = 1;
+    const auto err = m.check_coherence();
+    EXPECT_NE(err.find("Modified copies"), std::string::npos)
+        << "depth " << depth << "\n" << err;
+  }
+}
+
+TEST(Checker, PipelinedHomeLeavesNoResidualServiceState) {
+  // After a contended burst drains, every home must be back to zero queued
+  // and zero live invalidations — residue would mean leaked pipeline slots.
+  auto p = tiny();
+  p.svc.pipeline_depth = 2;
+  p.svc.coalesce_window = 16;
+  Machine m(p);
+  sim::Rng rng(31);
+  std::vector<int> remaining(static_cast<std::size_t>(m.num_nodes()), 8);
+  std::function<void(NodeId)> issue = [&](NodeId id) {
+    if (remaining[static_cast<std::size_t>(id)]-- <= 0) return;
+    const BlockAddr a = rng.next_below(8);
+    if (rng.next_bool(0.6)) {
+      m.node(id).write(a, static_cast<std::uint64_t>(id) * 100, [&, id] {
+        issue(id);
+      });
+    } else {
+      m.node(id).read(a, [&, id](std::uint64_t) { issue(id); });
+    }
+  };
+  for (NodeId id = 0; id < m.num_nodes(); ++id) issue(id);
+  ASSERT_TRUE(m.engine().run_until([&] { return m.all_idle(); }, 50'000'000));
+  ASSERT_TRUE(m.engine().run_to_quiescence(5'000'000));
+  for (NodeId id = 0; id < m.num_nodes(); ++id) {
+    EXPECT_EQ(m.node(id).svc_queue_depth(), 0u) << "home " << id;
+    EXPECT_EQ(m.node(id).svc_live_invals(), 0) << "home " << id;
+  }
+  const auto err = m.check_coherence();
+  EXPECT_TRUE(err.empty()) << err;
 }
 
 TEST(Machine, HomeMappingIsModular) {
