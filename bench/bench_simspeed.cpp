@@ -34,8 +34,10 @@
 // noisy boxes where one run can catch a scheduling hiccup.
 //
 // --shards=N runs every scenario on the sharded parallel cycle kernel
-// (DESIGN.md section 14; bit-identical results, so the simulated cycle and
-// hop counts match the sequential kernel exactly — only wall time changes).
+// (DESIGN.md sections 14 and 16; bit-identical results, so the simulated
+// cycle and hop counts match the sequential kernel exactly — only wall time
+// changes).  An explicit flag beats the MDW_SHARDS environment variable;
+// with neither, the sequential kernel runs (resolve_shards precedence).
 //
 // --metrics-json= writes one trajectory point: {"label", "mode", "shards",
 // "cpus", "results": [{name, sim_cycles_per_sec, flit_hops_per_sec}]}.
@@ -52,6 +54,7 @@
 #include <vector>
 
 #include "dsm/machine.h"
+#include "noc/shard_plan.h"
 #include "noc/worm_builder.h"
 #include "sim/rng.h"
 #include "workload/generators.h"
@@ -62,8 +65,9 @@ using namespace mdw;
 
 namespace {
 
-/// Cycle-kernel shard count applied to every scenario (--shards=N).
-int g_shards = 1;
+/// Cycle-kernel shard count applied to every scenario (--shards=N); 0 means
+/// unset, deferring to MDW_SHARDS and then the sequential kernel.
+int g_shards = 0;
 
 /// Prime `sharers` on block `a` so the next write triggers one invalidation
 /// transaction of degree d.  Mirrors analysis::measure_invalidations.
@@ -120,6 +124,7 @@ void BM_Burst(benchmark::State& state, int mesh_k) {
   np.shards = g_shards;
   noc::Network net(eng, mesh, np);
   net.set_delivery_handler([](NodeId, const noc::WormPtr&) {});
+  net.set_parallel_replay(true);  // empty handler: trivially thread-safe
   sim::Rng rng(11);
   const int n = mesh.num_nodes();
   TxnId txn = 0;
@@ -390,7 +395,10 @@ bool write_point_json(const std::string& path, const std::string& label,
                mode);
   // shards/cpus let check_simspeed.py pair shards=1 vs shards=N points and
   // skip the parallel-efficiency gate on hosts with no real parallelism.
-  std::fprintf(f, "  \"shards\": %d,\n  \"cpus\": %u,\n", g_shards,
+  // The shard count recorded is the RESOLVED one (flag, else MDW_SHARDS,
+  // else 1), never the unset sentinel.
+  std::fprintf(f, "  \"shards\": %d,\n  \"cpus\": %u,\n",
+               noc::resolve_shards(g_shards),
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -423,7 +431,10 @@ int main(int argc, char** argv) {
       if (repeat < 1) repeat = 1;
     } else if (a.rfind("--shards=", 0) == 0) {
       g_shards = std::atoi(a.c_str() + 9);
-      if (g_shards < 1) g_shards = 1;
+      if (g_shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 1;
+      }
     } else {
       args.push_back(argv[i]);
     }

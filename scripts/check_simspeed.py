@@ -24,10 +24,17 @@ whose recorded "cpus" is below 2 there is no hardware parallelism to
 measure, so the efficiency check is skipped with a note instead of emitting
 meaningless warnings.
 
+Hard efficiency gate: --efficiency-min=P (off by default) turns the
+efficiency check into a pass/fail gate — any 32x32+ scenario whose parallel
+efficiency falls below P fails the run.  The cpus<2 skip path applies to the
+gate too: a host with no hardware parallelism cannot measure efficiency, so
+the gate is skipped there with a note rather than failing spuriously.
+
 Usage:
     scripts/check_simspeed.py [--trajectory BENCH_simspeed.json]
                               [--tolerance 0.10] [--baseline LABEL]
                               [--min-efficiency 0.50]
+                              [--efficiency-min P]
 """
 
 from __future__ import annotations
@@ -135,13 +142,22 @@ def check_regression(points: list[dict], baseline_label: str | None,
     return 0
 
 
-def check_efficiency(points: list[dict], min_efficiency: float) -> None:
+def check_efficiency(points: list[dict], min_efficiency: float,
+                     efficiency_min: float | None) -> int:
+    """Report parallel efficiency; return the number of hard-gate failures.
+
+    `min_efficiency` only warns (stderr); `efficiency_min`, when not None,
+    is a pass/fail floor — 32x32+ scenarios below it count as failures.
+    """
     label = label_of(points[-1])
     same = [p for p in points if label_of(p) == label]
     seq = [p for p in same if shards_of(p) == 1]
     par = [p for p in same if shards_of(p) > 1]
     if not seq or not par:
-        return
+        if efficiency_min is not None:
+            print(f"check_simspeed: --efficiency-min set but label '{label}' "
+                  f"has no shards=1 + shards=N point pair; gate skipped")
+        return 0
     base, sharded = seq[-1], par[-1]
     shards = shards_of(sharded)
     cpus = int(sharded.get("cpus", 0))
@@ -151,9 +167,13 @@ def check_efficiency(points: list[dict], min_efficiency: float) -> None:
         print(f"  single-CPU host (cpus={cpus}): no hardware parallelism "
               f"available, efficiency check skipped — shards={shards} "
               f"numbers above record thread-coordination overhead only")
-        return
+        if efficiency_min is not None:
+            print(f"  --efficiency-min={efficiency_min} gate skipped for the "
+                  f"same reason")
+        return 0
     workers = min(shards, cpus)
     base_rates, par_rates = rates(base), rates(sharded)
+    failures = 0
     for name in sorted(set(base_rates) & set(par_rates)):
         b, p = base_rates[name], par_rates[name]
         if b <= 0:
@@ -161,14 +181,22 @@ def check_efficiency(points: list[dict], min_efficiency: float) -> None:
         speedup = p / b
         eff = speedup / workers
         big = mesh_of(name) >= 32
+        hard_fail = (big and efficiency_min is not None
+                     and eff < efficiency_min)
         slow = big and eff < min_efficiency
-        marker = "WARN" if slow else "ok  "
+        marker = "FAIL" if hard_fail else ("WARN" if slow else "ok  ")
         print(f"  [{marker}] {name}: {speedup:.2f}x over shards=1 "
               f"({eff:.0%} efficiency on {workers} workers)")
-        if slow:
+        if hard_fail:
+            failures += 1
+            print(f"check_simspeed: FAIL: '{name}' parallel efficiency "
+                  f"{eff:.0%} below the --efficiency-min={efficiency_min} "
+                  f"gate at shards={shards}", file=sys.stderr)
+        elif slow:
             print(f"check_simspeed: warning: '{name}' parallel efficiency "
                   f"{eff:.0%} below {min_efficiency:.0%} at shards={shards}",
                   file=sys.stderr)
+    return failures
 
 
 def main() -> int:
@@ -187,11 +215,20 @@ def main() -> int:
     ap.add_argument("--min-efficiency", type=float, default=0.50,
                     help="warn when a 32x32+ scenario's parallel efficiency "
                          "falls below this fraction (default 0.50)")
+    ap.add_argument("--efficiency-min", type=float, default=None, metavar="P",
+                    help="hard gate: fail when a 32x32+ scenario's parallel "
+                         "efficiency falls below P (default: off; skipped "
+                         "on hosts with cpus < 2)")
     args = ap.parse_args()
 
     points = load_points(args.trajectory)
     rc = check_regression(points, args.baseline, args.tolerance)
-    check_efficiency(points, args.min_efficiency)
+    eff_failures = check_efficiency(points, args.min_efficiency,
+                                    args.efficiency_min)
+    if eff_failures:
+        print(f"check_simspeed: FAILED — {eff_failures} scenario(s) below "
+              f"the --efficiency-min={args.efficiency_min} gate")
+        return 1
     return rc
 
 

@@ -44,7 +44,16 @@ cmake --build "$REL_BUILD" -j "$JOBS" \
 # parallel tick paths (results are bit-identical; only wall time differs).
 "$REL_BUILD"/bench/bench_simspeed --shards=2 --benchmark_min_time=0.05 \
     --benchmark_filter='Burst/8x8|Stream/16x16'
-python3 scripts/check_simspeed.py
+# Oversubscription smoke: far more shard threads than hardware cores (the
+# 16x16 mesh allows all 16).  Exercises the spin-budget fallback and the
+# fused-barrier hand-off under heavy preemption; correctness is still the
+# bit-identity pinned in the tests, this just has to complete.
+"$REL_BUILD"/bench/bench_simspeed --shards=16 --benchmark_min_time=0.02 \
+    --benchmark_filter='Burst/16x16'
+# Throughput regression gate plus the parallel-efficiency floor.  0.30 is
+# deliberately conservative (the ISSUE targets 0.65 on a real multi-core
+# box); on single-CPU hosts check_simspeed skips the gate with a note.
+python3 scripts/check_simspeed.py --efficiency-min=0.30
 
 echo
 echo "=== sanitizers: ASan/UBSan build, obs + worm-pool + stream tests (${SAN_BUILD}) ==="
@@ -69,11 +78,13 @@ cmake --build "$TSAN_BUILD" -j "$JOBS" \
     test_svc
 ctest --test-dir "$TSAN_BUILD" -R 'sweep|worm_pool|shard_kernel|svc' \
     --output-on-failure
-# The shard-invariance fingerprints exercise the parallel kernel on full
-# protocol traffic; run just that test under TSan (the rest of the
-# determinism suite is single-threaded and slow under instrumentation).
+# The shard-invariance and fast-forward fingerprints exercise the parallel
+# kernel on full protocol traffic — including the rebalanced (load-balanced
+# plan) variants and the sharded fast-forward fold; run just those under
+# TSan (the rest of the determinism suite is single-threaded and slow under
+# instrumentation).
 "$TSAN_BUILD"/tests/test_determinism \
-    --gtest_filter='Determinism.ShardCountInvariance'
+    --gtest_filter='Determinism.ShardCountInvariance:Determinism.FastForwardInvariance'
 
 echo
 echo "verify: OK"

@@ -39,6 +39,12 @@ Machine::Machine(const SystemParams& params, obs::MetricsRegistry* metrics)
   net_->set_delivery_handler([this](NodeId where, const noc::WormPtr& worm) {
     nodes_[where]->handle_delivery(worm);
   });
+  // handle_delivery mutates only node `where`'s state and schedules engine
+  // events (directories, sharer sets, and txn bookkeeping are all reached
+  // through home-node handlers running as scheduled events), which is
+  // exactly the contract the sharded kernel's parallel mailbox replay
+  // requires — results stay bit-identical at any shard count.
+  net_->set_parallel_replay(true);
 }
 
 Machine::~Machine() = default;

@@ -62,15 +62,17 @@ Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& param
       link.nbr_port = static_cast<int>(opposite(static_cast<Dir>(d)));
     }
   }
-  int shards_req = params_.shards;
-  if (const char* shards_env = std::getenv("MDW_SHARDS");
-      shards_env != nullptr && *shards_env != '\0') {
-    shards_req = std::atoi(shards_env);
-  }
-  plan_ = compute_shard_plan(mesh_, shards_req);
+  const char* ff_env = std::getenv("MDW_NO_FF");
+  ff_on_ = params_.fast_forward && (ff_env == nullptr || *ff_env == '0');
+  // Flag beats environment: an explicit params_.shards wins over MDW_SHARDS.
+  plan_ = compute_shard_plan(mesh_, resolve_shards(params_.shards));
   if (plan_.shards > 1) {
+    gates_on_ = true;
     shard_ctx_.resize(static_cast<std::size_t>(plan_.shards));
-    for (ShardCtx& c : shard_ctx_) {
+    for (int s = 0; s < plan_.shards; ++s) {
+      ShardCtx& c = shard_ctx_[static_cast<std::size_t>(s)];
+      c.index = s;
+      c.heads_xfer.assign(static_cast<std::size_t>(plan_.shards), 0);
       c.deliveries.reserve(64);
       c.idle_checks.reserve(128);
     }
@@ -90,6 +92,13 @@ Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& param
 Network::~Network() = default;
 
 void Network::inject(const WormPtr& worm) {
+  if (ff_until_ != 0) {
+    // New work invalidates an armed fast-forward window: cancel the early
+    // return and the engine wake, keep ff_armed_at_ so the next real tick
+    // still replays the rotation bumps for the cycles already skipped.
+    ff_until_ = 0;
+    eng_.clear_wake();
+  }
   assert(!worm->path.empty());
   assert(!worm->dests.empty());
   assert(worm->adaptive || worm->dests.back().node == worm->path.back());
@@ -114,6 +123,10 @@ void Network::inject(const WormPtr& worm) {
   }
   ++counters().in_flight;
   ++counters().queued_worms;
+  if (gates_on_) {
+    ++shard_ctx_[plan_.shard_of[static_cast<std::size_t>(worm->src)]]
+          .work_qworms;
+  }
   ++ifaces_[worm->src].inj_work;
   ifaces_[worm->src].inject_q[static_cast<int>(worm->vnet)].push_back(worm);
   wake_router(worm->src);
@@ -123,13 +136,23 @@ void Network::reinject(NodeId at, WormPtr worm) {
   // Deferred gather worm resuming its path from `at`.
   assert(worm->path[worm->head_hop] == at);
   ++counters().queued_worms;
+  if (gates_on_) {
+    ++shard_ctx_[plan_.shard_of[static_cast<std::size_t>(at)]].work_qworms;
+  }
   ++ifaces_[at].inj_work;
   ifaces_[at].inject_q[static_cast<int>(worm->vnet)].push_back(std::move(worm));
   wake_router(at);
 }
 
 void Network::post_iack(NodeId at, TxnId txn, int count) {
+  if (ff_until_ != 0) {  // see inject(); always 0 when called mid-tick
+    ff_until_ = 0;
+    eng_.clear_wake();
+  }
   ++counters().pending_posts;
+  if (gates_on_) {
+    ++shard_ctx_[plan_.shard_of[static_cast<std::size_t>(at)]].work_posts;
+  }
   ifaces_[at].pending_posts.emplace_back(txn, count);
   wake_router(at);
 }
@@ -143,10 +166,18 @@ void Network::try_pending_posts(NodeId n) {
     bool accepted = false;
     auto released = routers_[n]->bank().post(txn, count, &accepted);
     if (!accepted) {
-      iface.pending_posts.emplace_back(txn, count);  // bank full; retry
+      // Bank full: re-park. Leaves the ring's element sequence (and all
+      // other state) unchanged, so a tick whose posts all re-park is still
+      // fast-forward-skippable — the bank can only free via time-gated
+      // network actions or a post_iack, both of which end a window.
+      iface.pending_posts.emplace_back(txn, count);
       continue;
     }
+    ff_note_acted();
     --counters().pending_posts;
+    if (gates_on_) {
+      --shard_ctx_[plan_.shard_of[static_cast<std::size_t>(n)]].work_posts;
+    }
     if (tracer_) {
       trace_bank_occupancy(n, routers_[n]->bank().entries_in_use(), eng_.now());
     }
@@ -178,6 +209,7 @@ void Network::service_injection(NodeId n, Cycle now) {
     const bool head = st.flits_pushed == 0;
     const bool tail = st.flits_pushed == st.worm->length_flits - 1;
     ivc.buf.push_back(Flit{head, tail, now});
+    ff_note_acted();
     ++counters().live_flits;
     ++r.active_work_;
     if (head) {
@@ -186,9 +218,18 @@ void Network::service_injection(NodeId n, Cycle now) {
     }
     ++st.flits_pushed;
     if (tail) {
+      if (sharded_active_) {
+        // Park the queue's reference for barrier A's serial section: a
+        // plain drop here races the head shard's concurrent reference copy
+        // on this worm (non-atomic refcount; see ShardCtx::deferred_free).
+        tls_shard_->deferred_free.push_back(std::move(st.worm));
+      }
       st.worm = nullptr;
       st.flits_pushed = 0;
       --counters().queued_worms;
+      if (gates_on_) {
+        --shard_ctx_[plan_.shard_of[static_cast<std::size_t>(n)]].work_qworms;
+      }
       --iface.inj_work;
     }
   }
@@ -291,10 +332,66 @@ bool Network::node_has_work(NodeId id) const {
   return iface.inj_work > 0 || !iface.pending_posts.empty();
 }
 
+bool Network::ff_epilogue(Cycle now) {
+  // Eligibility: nothing acted, nothing resource-blocked, and at least one
+  // time gate was recorded (no gates would mean no provable wake point —
+  // e.g. a tick whose only activity is bank-full post retries keeps ticking
+  // normally).  Every live flit is covered by a gate: it sits in a routed VC
+  // (traverse gate), behind a pending head (allocation/ready_at gate), or in
+  // a consumption channel (drain gate).
+  if (ff_on_ && !ff_acted_ && !ff_blocked_ && ff_next_ != kNoGate &&
+      ff_next_ > now + 1) {
+    arm_fast_forward(now, ff_next_);
+    return false;  // this tick was provably a no-op: let the run loop jump
+  }
+  return true;
+}
+
+void Network::arm_fast_forward(Cycle now, Cycle next) {
+  assert(next > now);
+  ff_until_ = next;
+  ff_armed_at_ = now;
+  ++ff_events_;
+  eng_.request_wake(next);
+}
+
+void Network::ff_resume(Cycle now) {
+  // The skipped ticks (ff_armed_at_+1 .. now-1) would each have bumped the
+  // rotation cursor and, for every router holding flits, its round-robin
+  // port pointer (traverse bumps it once per tick whenever active_work_ > 0,
+  // even when no flit can move; rr_vc_ only moves on a successful move).
+  // That state was frozen during the window, so the bumps compose into one
+  // modular add — everything else about a skipped tick is a proven no-op.
+  const Cycle skipped = now - ff_armed_at_ - 1;
+  if (skipped > 0) {
+    const int n = mesh_.num_nodes();
+    rotate_ = static_cast<int>(
+        (static_cast<Cycle>(rotate_) + skipped % static_cast<Cycle>(n)) %
+        static_cast<Cycle>(n));
+    const int rr = static_cast<int>(skipped % kNumPorts);
+    for (const auto& r : routers_) {
+      if (r->active_work_ > 0) {
+        r->rr_port_ = (r->rr_port_ + rr) % kNumPorts;
+      }
+    }
+    ff_cycles_ += skipped;
+  }
+  ff_armed_at_ = kNoGate;
+  ff_until_ = 0;
+  eng_.clear_wake();
+}
+
 bool Network::tick(Cycle now) {
+  if (ff_until_ != 0 && now < ff_until_) return false;  // armed window
   if (cnt_.live_flits == 0 && cnt_.queued_worms == 0 && cnt_.pending_posts == 0)
     return false;
+  if (ff_armed_at_ != kNoGate) ff_resume(now);
   if (pool_ != nullptr && tracer_ == nullptr) return tick_sharded(now);
+  if (ff_on_) {
+    ff_acted_ = false;
+    ff_blocked_ = false;
+    ff_next_ = kNoGate;
+  }
   const int n = mesh_.num_nodes();
   const int start = rotate_;
   rotate_ = (rotate_ + 1) % n;
@@ -311,7 +408,7 @@ bool Network::tick(Cycle now) {
     }
     for (int i = 0; i < n; ++i) routers_[(start + i) % n]->allocate(now);
     for (int i = 0; i < n; ++i) routers_[(start + i) % n]->traverse(now);
-    return true;
+    return ff_epilogue(now);
   }
 
   // Active-region sweep: identical phase order and, within each phase, the
@@ -346,7 +443,7 @@ bool Network::tick(Cycle now) {
     }
   }
   idle_checks_.clear();
-  return true;
+  return ff_epilogue(now);
 }
 
 } // namespace mdw::noc

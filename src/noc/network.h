@@ -6,17 +6,28 @@
 // fair across nodes) and services the per-node injection queues.
 //
 // With NocParams::shards > 1 the tick runs the sharded parallel kernel
-// (DESIGN.md section 14): the mesh is cut into row strips, each owned by one
-// thread of a persistent sim::ShardPool, with a sim::ShardBarrier between
-// the tick phases.  Per-shard counter deltas and a per-shard delivery
-// mailbox are folded/replayed deterministically at the barriers, and the
-// traverse phase runs in diagonal-front order with cross-strip progress
-// waits, so the result is bit-identical to the sequential kernel.
+// (DESIGN.md sections 14 and 16): the mesh is cut into row strips, each
+// owned by one thread of a persistent sim::ShardPool, with two
+// sim::ShardBarrier rounds per tick (after the fused drain/inject/allocate
+// block, and after traverse).  Per-shard counter deltas and a per-shard
+// delivery mailbox are folded/replayed deterministically in the barrier
+// serial sections, and the traverse phase runs in diagonal-front order with
+// cross-strip progress waits, so the result is bit-identical to the
+// sequential kernel.
+//
+// Quiescence fast-forward (both kernels): a tick in which nothing acted,
+// nothing was blocked on a resource, and every pending flit sits behind a
+// known future time gate arms a fast-forward window — simulated time jumps
+// to the earliest gate (via an Engine wake request) and the skipped ticks'
+// only side effects (rotation and round-robin pointer bumps) are replayed
+// arithmetically on resume.  Results are bit-identical with the feature on
+// or off (NocParams::fast_forward, MDW_NO_FF).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -97,6 +108,17 @@ public:
   /// Called once per final or intermediate `Deliver` completion.
   void set_delivery_handler(DeliveryHandler h) { deliver_ = std::move(h); }
 
+  /// Opt-in parallel mailbox replay for the sharded kernel: each shard runs
+  /// the delivery handler over its own mailbox (its strip's nodes) with
+  /// engine scheduling staged per delivery; the order-sensitive effects —
+  /// latency samples, in-flight accounting, staged-event queue insertion —
+  /// are then committed serially in the canonical cross-shard merge order,
+  /// so results stay bit-identical.  Callers must guarantee the handler only
+  /// touches per-node state and the engine (true for dsm::Machine); the
+  /// default (off) runs the whole handler serially in the merge.
+  void set_parallel_replay(bool on) { parallel_replay_ = on; }
+  [[nodiscard]] bool parallel_replay() const { return parallel_replay_; }
+
   /// Queue `worm` for injection at its source node.  Self-deliveries
   /// (path == {src}) complete immediately through the delivery handler.
   void inject(const WormPtr& worm);
@@ -127,9 +149,24 @@ public:
     return plan_.shard_of[static_cast<std::size_t>(id)];
   }
   [[nodiscard]] const ShardPlan& shard_plan() const { return plan_; }
+  /// Recompute the strip partition from observed occupancy (heatmap link
+  /// traffic + scheduled-router population per row), minimising the hottest
+  /// strip via the cost-model compute_shard_plan overload.  Callable only
+  /// between ticks; the shard count is unchanged, and since any contiguous
+  /// row partition is bit-identical, so is the simulation.  No-op for the
+  /// sequential kernel.
+  void rebalance_shards();
   /// Publish per-shard tick counters (barrier/order wait spins, routers
-  /// traversed) into the metrics registry.  No-op for the sequential kernel.
+  /// traversed) and the network fast-forward counters into the registry.
   void publish_shard_metrics();
+  /// Spin iterations shard `s` spent inside tick barriers (shards > 1 only).
+  [[nodiscard]] std::uint64_t shard_barrier_spins(int s) const {
+    return shard_ctx_[static_cast<std::size_t>(s)].barrier_spins;
+  }
+  /// Simulated cycles skipped by quiescence fast-forward, and the number of
+  /// windows armed.
+  [[nodiscard]] std::uint64_t ff_cycles() const { return ff_cycles_; }
+  [[nodiscard]] std::uint64_t ff_events() const { return ff_events_; }
 
   // --- used by Router -----------------------------------------------------
   void count_link_flit(NodeId from, Dir d) {
@@ -177,12 +214,62 @@ public:
   /// Live-flit accounting, used for cheap global activity detection.
   void on_flit_removed() { --counters().live_flits; }
   void on_flit_copied() { ++counters().live_flits; }
-  /// Global phase-work accounting: consumption-channel flits and unrouted
-  /// heads across all routers.  A zero count lets tick() skip that phase's
-  /// sweep outright — equivalent to running it over routers with none of
-  /// that work class, which is a no-op.
-  void on_cons_flit(int delta) { counters().cons_flits_total += delta; }
-  void on_pending_head(int delta) { counters().pending_heads_total += delta; }
+  /// Phase-work accounting: consumption-channel flits and unrouted heads.
+  /// Alongside the global totals (tick()'s phase gates) the sharded kernel
+  /// keeps per-owner-shard counts, so each shard gates its fused phase
+  /// sweeps on its own strip's work alone.  A consumption flit only ever
+  /// changes at its own router (executing shard == owner); a pending head
+  /// can be created cross-shard during traverse, which routes through the
+  /// executor's transfer array, folded at the end-of-tick barrier.
+  void on_cons_flit(NodeId id, int delta) {
+    counters().cons_flits_total += delta;
+    if (gates_on_) {
+      shard_ctx_[plan_.shard_of[static_cast<std::size_t>(id)]].work_cons +=
+          delta;
+    }
+  }
+  void on_pending_head(NodeId id, int delta) {
+    counters().pending_heads_total += delta;
+    if (!gates_on_) return;
+    const auto owner = plan_.shard_of[static_cast<std::size_t>(id)];
+    if (sharded_active_ && tls_shard_->index != owner) {
+      tls_shard_->heads_xfer[owner] += delta;
+    } else {
+      shard_ctx_[owner].work_heads += delta;
+    }
+  }
+  // --- quiescence fast-forward hooks (see header comment) ------------------
+  /// Network state changed this tick (flit moved, post accepted, allocation
+  /// succeeded, ...): the tick is not skippable.
+  void ff_note_acted() {
+    if (!ff_on_) return;
+    if (sharded_active_) {
+      tls_shard_->ff_acted = true;
+    } else {
+      ff_acted_ = true;
+    }
+  }
+  /// An allocation stalled on a resource (not on time): its stall counters
+  /// and heatmap records advance every cycle, so the tick cannot be skipped
+  /// without diverging stats.
+  void ff_note_blocked() {
+    if (!ff_on_) return;
+    if (sharded_active_) {
+      tls_shard_->ff_blocked = true;
+    } else {
+      ff_blocked_ = true;
+    }
+  }
+  /// Some pending work becomes actionable at cycle `when` (arrival or
+  /// pipeline gate): a fast-forward window may jump at most there.
+  void ff_gate(Cycle when) {
+    if (!ff_on_) return;
+    if (sharded_active_) {
+      if (when < tls_shard_->ff_next) tls_shard_->ff_next = when;
+    } else if (when < ff_next_) {
+      ff_next_ = when;
+    }
+  }
   /// A work counter at node `id` just reached zero: queue it for the
   /// end-of-tick deschedule check.  Only these transition points can turn
   /// node_has_work false, so checking the queued candidates is equivalent to
@@ -212,6 +299,8 @@ public:
   [[nodiscard]] bool full_sweep() const { return full_sweep_; }
 
 private:
+  static constexpr Cycle kNoGate = std::numeric_limits<Cycle>::max();
+
   /// Global tick-gate and phase-gate counters.  During a sharded tick every
   /// helper above routes its update into the calling shard's delta block
   /// (via counters()); the deltas are folded into this canonical copy at
@@ -231,21 +320,50 @@ private:
     std::int64_t absorb_deliveries = 0;
   };
 
-  /// A consumption-channel delivery deferred to the phase-1 barrier.  The
-  /// worm reference is moved in and moved out: no refcount traffic on the
-  /// shard threads.
+  /// A consumption-channel delivery deferred to the end-of-phase-block
+  /// barrier.  The worm reference is moved in and moved out: no refcount
+  /// traffic on the shard threads.
   struct DeliveryRec {
     NodeId where = 0;
     WormPtr worm;
     bool final_dest = false;
   };
 
-  /// Per-shard working state, cache-line separated.
+  /// Per-shard working state, cache-line separated.  The work_* gate
+  /// counters are single-writer: the owning shard's executor during a tick
+  /// (cross-shard head arrivals detour through heads_xfer), the main thread
+  /// in between.
   struct alignas(64) ShardCtx {
     NetCounters delta;
-    std::vector<DeliveryRec> deliveries;  // phase-1 mailbox, key order
+    int index = 0;
+    // Own-strip phase work (gates for the fused phase-1..3 block).
+    std::int64_t work_posts = 0;
+    std::int64_t work_cons = 0;
+    std::int64_t work_qworms = 0;
+    std::int64_t work_heads = 0;
+    /// Pending heads this executor created in other shards' strips during
+    /// traverse, by owner; folded into work_heads at the end-of-tick barrier.
+    std::vector<std::int64_t> heads_xfer;
+    std::vector<DeliveryRec> deliveries;  // per-tick mailbox, key order
     std::size_t replay_cursor = 0;        // merge cursor into `deliveries`
+    /// Worm references released during the fused phase 1-3 block, parked
+    /// here by move and dropped in barrier A's serial section: the worm's
+    /// refcount is deliberately non-atomic, and a mid-block drop (e.g. the
+    /// source NI releasing its queue reference on the tail-injection cycle)
+    /// can race the head-holding shard's concurrent reference copy in
+    /// allocate on the very same worm.  Increments need no such deferral:
+    /// within one tick every incrementing site (injection start, head
+    /// allocation) is exclusive to a single shard per worm.
+    std::vector<WormPtr> deferred_free;
+    // Parallel-replay staging: events scheduled by the delivery handler for
+    // deliveries[i] occupy staged[staged_bounds[i-1] .. staged_bounds[i]).
+    sim::Engine::StageBuffer staged;
+    std::vector<std::uint32_t> staged_bounds;
     std::vector<NodeId> idle_checks;
+    // Fast-forward eligibility for this shard's slice of the tick.
+    bool ff_acted = false;
+    bool ff_blocked = false;
+    Cycle ff_next = kNoGate;
     std::uint64_t barrier_spins = 0;  // spin iterations inside barriers
     std::uint64_t order_spins = 0;    // spin iterations in traverse waits
     std::uint64_t ticks = 0;
@@ -264,19 +382,42 @@ private:
   void try_pending_posts(NodeId n);
   void reinject(NodeId at, WormPtr worm);
   /// The sequential body of on_delivery (stats, latency, in-flight, the
-  /// delivery handler); in sharded mode this runs in the phase-1 serial
-  /// section, in key order across all shards' mailboxes.
+  /// delivery handler); in sharded mode this runs in the phase-block
+  /// barrier's serial section, in key order across all shards' mailboxes.
   void commit_delivery(NodeId where, const WormPtr& worm, bool final_dest,
                        Cycle now);
+
+  // --- quiescence fast-forward ---------------------------------------------
+  /// End-of-tick check (sequential kernels): arm a window if eligible.
+  /// Returns the tick()'s return value (false when armed: the tick was
+  /// provably a no-op and the run loop should jump).
+  bool ff_epilogue(Cycle now);
+  void arm_fast_forward(Cycle now, Cycle next);
+  /// First real tick after a window: replay the skipped ticks' rotation and
+  /// round-robin bumps arithmetically, disarm.
+  void ff_resume(Cycle now);
+  /// Barrier-B serial section: fold the per-shard eligibility and arm.
+  void decide_fast_forward(Cycle now);
 
   // --- sharded kernel (network_shard.cpp side of the class) ---------------
   bool tick_sharded(Cycle now);
   void shard_main(int s);
-  void shard_traverse(int s, int start, Cycle now);
   void shard_traverse_stage(int s, bool early, int start, Cycle now,
                             PaddedAtomicInt* progress);
+  /// Pre-late-stage wait replacing the mid-traverse barrier: a shard whose
+  /// late-stage rows reach the rotation seam waits for the full early-stage
+  /// completion of the (at most three) shards owning rows start/W .. +2 —
+  /// the only rows whose early cells can interact with late cells.
+  void seam_wait(int s, int start);
   void fold_shard_deltas();
-  void replay_deliveries(Cycle now);
+  void fold_head_transfers();
+  /// Parallel half of delivery replay (opt-in): run the handler over the own
+  /// mailbox with engine scheduling staged per delivery.
+  void replay_own_deliveries(Cycle now);
+  /// Serial half (barrier serial section): canonical cross-shard merge
+  /// committing stats/latency/in-flight and flushing staged events — or,
+  /// without parallel replay, running the whole handler here.
+  void finish_deliveries(Cycle now);
   /// Visit the scheduled routers of shard `s`'s strip in (id - start) mod n
   /// order (all routers in full-sweep mode).  Bitmap words are re-read with
   /// atomic loads: words can straddle strip boundaries and other shards
@@ -304,10 +445,13 @@ private:
   obs::LinkHeatmap heatmap_;
   obs::TraceWriter* tracer_ = nullptr;
   /// Hot per-event state on its own cache lines: every flit move loads
-  /// sharded_active_ and bumps a gate counter, so keep the flag, the six
-  /// gate counters (first 48 bytes of NetCounters), and the rotation cursor
-  /// away from the cold members around them.
+  /// sharded_active_ (and now the ff/gate flags) and bumps a gate counter,
+  /// so keep the flags, the six gate counters (first 48 bytes of
+  /// NetCounters), and the rotation cursor away from the cold members.
   alignas(64) bool sharded_active_ = false;
+  bool gates_on_ = false;   // per-shard work gates maintained (shards > 1)
+  bool ff_on_ = false;      // fast-forward enabled
+  Cycle ff_until_ = 0;      // armed window: ticks before this cycle skip
   NetCounters cnt_;
   int rotate_ = 0;
 
@@ -333,8 +477,18 @@ private:
   /// Precomputed "iack_bank.<n>" counter names (see trace_bank_occupancy).
   std::vector<std::string> bank_counter_names_;
 
+  // --- fast-forward state (cold: touched at window boundaries only) -------
+  Cycle ff_armed_at_ = kNoGate;  // tick that armed the open window
+  Cycle ff_next_ = kNoGate;      // sequential per-tick gate accumulator
+  bool ff_acted_ = false;        // sequential per-tick marks
+  bool ff_blocked_ = false;
+  bool ff_idle_tick_ = false;    // sharded: tick armed a window (return false)
+  std::uint64_t ff_cycles_ = 0;
+  std::uint64_t ff_events_ = 0;
+
   // --- sharded-kernel state ----------------------------------------------
   ShardPlan plan_;
+  bool parallel_replay_ = false;
   // (sharded_active_ — true only between tick_sharded() entry and exit,
   // routing the counter helpers through the calling shard's delta block —
   // is declared next to cnt_ above for cache-line locality.  It is read by

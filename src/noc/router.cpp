@@ -35,12 +35,17 @@ int Router::find_free_cons_channel() const {
 void Router::drain_consumption(Cycle now) {
   if (cons_flits_ == 0) return;
   for (auto& ch : cons_) {
-    if (ch.buf.empty() || ch.buf.front().arrival >= now) continue;
+    if (ch.buf.empty()) continue;
+    if (ch.buf.front().arrival >= now) {
+      net_.ff_gate(ch.buf.front().arrival + 1);
+      continue;
+    }
     const Flit f = ch.buf.front();
     ch.buf.pop_front();
+    net_.ff_note_acted();
     --cons_flits_;
     --active_work_;
-    net_.on_cons_flit(-1);
+    net_.on_cons_flit(id_, -1);
     net_.on_flit_removed();
     ++stats_.flits_consumed;
     if (f.tail) {
@@ -58,7 +63,10 @@ void Router::drain_consumption(Cycle now) {
 
 bool Router::try_allocate_head(InputVc& v, Cycle now) {
   assert(!v.buf.empty() && v.buf.front().head && !v.routed);
-  if (now < v.ready_at) return false;  // router pipeline delay
+  if (now < v.ready_at) {  // router pipeline delay
+    net_.ff_gate(v.ready_at);
+    return false;
+  }
   const WormPtr& w = v.owner;
   assert(w != nullptr);
   assert(w->path[w->head_hop] == id_);
@@ -147,6 +155,7 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
       auto parked = bank_.pickup(w->txn, w->dests[w->next_dest].expected_posts,
                                  w, &blocked);
       if (blocked) {
+        net_.ff_note_blocked();
         ++stats_.bank_blocked_cycles;
         ++stats_.alloc_stall_cycles;
         return false;
@@ -157,6 +166,7 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
         w->gathered += *parked;
         w->next_dest += 1;
         // Re-mark as a plain forward from here on (no dest at this router).
+        net_.ff_note_acted();  // bank state changed despite returning false
         ++stats_.alloc_stall_cycles;
         net_.count_link_stall(id_, static_cast<Dir>(out_port));
         if (net_.tracer()) {
@@ -177,6 +187,7 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
     auto parked = bank_.pickup(w->txn, w->dests[w->next_dest].expected_posts,
                                w, &blocked);
     if (blocked) {
+      net_.ff_note_blocked();
       ++stats_.bank_blocked_cycles;
       ++stats_.alloc_stall_cycles;
       return false;
@@ -212,18 +223,21 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
   if (needs_cons) {
     cons_ch = find_free_cons_channel();
     if (cons_ch < 0) {
+      net_.ff_note_blocked();
       ++stats_.cons_blocked_cycles;
       ++stats_.alloc_stall_cycles;
       return false;
     }
   }
   if (!last_router && out_vc < 0) {
+    net_.ff_note_blocked();
     ++stats_.alloc_stall_cycles;
     net_.count_link_stall(id_, static_cast<Dir>(out_port));
     return false;
   }
   if (needs_reserve &&
       !bank_.reserve(w->txn, w->dests[w->next_dest].expected_posts)) {
+    net_.ff_note_blocked();
     ++stats_.bank_blocked_cycles;
     ++stats_.alloc_stall_cycles;
     return false;
@@ -257,7 +271,7 @@ void Router::note_head_arrival(int port, int v) {
       std::lower_bound(pending_heads_.begin(), pending_heads_.end(), key);
   if (it == pending_heads_.end() || *it != key) {
     pending_heads_.insert(it, key);
-    net_.on_pending_head(1);
+    net_.on_pending_head(id_, 1);
   }
 }
 
@@ -269,15 +283,22 @@ void Router::allocate(Cycle now) {
     const int vi = pending_heads_[i] & 0xff;
     InputVc& v = vcs_[port][vi];
     assert(!v.routed && !v.buf.empty() && v.buf.front().head);
-    if (v.buf.front().arrival < now && try_allocate_head(v, now)) {
+    const Cycle arrival = v.buf.front().arrival;
+    if (arrival >= now) {
+      net_.ff_gate(arrival + 1);
+      ++i;
+      continue;
+    }
+    if (try_allocate_head(v, now)) {
+      net_.ff_note_acted();
       routed_mask_[port] |= 1u << vi;
       ports_mask_ |= 1u << port;
       pending_heads_.erase(pending_heads_.begin() +
                            static_cast<std::ptrdiff_t>(i));
-      net_.on_pending_head(-1);
+      net_.on_pending_head(id_, -1);
       continue;
     }
-    ++i;  // not ready yet or blocked on a resource: retry next cycle
+    ++i;  // blocked on a resource or the pipeline gate: retry next cycle
   }
 }
 
@@ -286,7 +307,11 @@ bool Router::try_move_flit(int port, int vidx, InputVc& v, Cycle now) {
   // link, and downstream VC are each loaded once (a separate can_move
   // predicate re-read all of them on the move).
   assert(v.routed);
-  if (v.buf.empty() || v.buf.front().arrival >= now) return false;
+  if (v.buf.empty()) return false;
+  if (v.buf.front().arrival >= now) {
+    net_.ff_gate(v.buf.front().arrival + 1);
+    return false;
+  }
   const Flit f = v.buf.front();
 
   if (v.drain_to_bank) {
@@ -300,7 +325,7 @@ bool Router::try_move_flit(int port, int vidx, InputVc& v, Cycle now) {
     v.buf.pop_front();
     ch.buf.push_back(Flit{f.head, f.tail, now});
     ++cons_flits_;
-    net_.on_cons_flit(1);
+    net_.on_cons_flit(id_, 1);
     // flit stays resident (moved within this router): no live-flit change
   } else {
     OutLink& link = out_[v.out_port];
@@ -326,7 +351,7 @@ bool Router::try_move_flit(int port, int vidx, InputVc& v, Cycle now) {
       ch.buf.push_back(Flit{f.head, f.tail, now});
       ++cons_flits_;
       ++active_work_;
-      net_.on_cons_flit(1);
+      net_.on_cons_flit(id_, 1);
       net_.on_flit_copied();
       if (f.tail) net_.on_absorb_delivery();
     }
@@ -340,6 +365,7 @@ bool Router::try_move_flit(int port, int vidx, InputVc& v, Cycle now) {
     if (routed_mask_[port] == 0) ports_mask_ &= ~(1u << port);
   }
   if (active_work_ == 0) net_.note_maybe_idle(id_);
+  net_.ff_note_acted();
   return true;
 }
 

@@ -54,11 +54,19 @@ struct NocParams {
   bool full_sweep = false;
 
   /// Cycle-kernel shard count: partition the mesh into this many row strips,
-  /// each ticked by its own thread (DESIGN.md section 14).  Clamped to the
-  /// mesh height; 1 (the default) runs the sequential kernel unchanged.
-  /// Overridable by the MDW_SHARDS environment variable.  Purely a
+  /// each ticked by its own thread (DESIGN.md sections 14 and 16).  Clamped
+  /// to the mesh height; 1 runs the sequential kernel unchanged.  <= 0 (the
+  /// default) means "unset": the MDW_SHARDS environment variable is
+  /// consulted, then 1.  An explicit positive value always beats the
+  /// environment (resolve_shards in shard_plan.h).  Purely a
   /// simulator-speed knob: results are bit-identical at any setting.
-  int shards = 1;
+  int shards = 0;
+
+  /// Quiescence fast-forward (DESIGN.md section 16): when a tick neither
+  /// acts nor blocks and every pending flit/worm is gated on a known future
+  /// cycle, jump simulated time there instead of ticking empty sweeps.
+  /// Bit-identical either way; MDW_NO_FF=1 is the runtime escape hatch.
+  bool fast_forward = true;
 
   [[nodiscard]] int vcs_total() const { return kNumVNets * vcs_per_vnet; }
   [[nodiscard]] int inj_vcs_total() const { return kNumVNets * inj_vcs_per_vnet; }

@@ -1,12 +1,16 @@
 // Spatial partition of a mesh for the sharded cycle kernel (DESIGN.md
-// section 14).
+// sections 14 and 16).
 //
 // The mesh is cut into horizontal strips of whole rows, so every shard owns
 // a contiguous, row-major-id range of routers (and their NIs, i-ack banks,
 // and scheduler-bitmap positions).  Strips rather than general rectangles
 // keep each shard's sweep a pair of contiguous id runs in the rotating
 // (id - start) mod n arbitration order, which is what makes the parallel
-// sweep's visit order bit-identical to the sequential kernel's.
+// sweep's visit order bit-identical to the sequential kernel's.  For the
+// same reason ANY contiguous row partition yields bit-identical results:
+// visit orders derive from global ids and diagonal fronts, never from strip
+// boundaries — which is what lets the cost-model overload below move
+// boundaries freely for load balance.
 //
 // Cross-shard ordering: two routers can observe each other's same-phase
 // effects only within Manhattan distance 2 (a traverse step writes its own
@@ -19,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "noc/geometry.h"
@@ -45,23 +50,36 @@ struct ShardPlan {
   std::vector<std::vector<Checkpoint>> band;  // per shard, ascending id
 };
 
-/// Partition `mesh` into at most `requested` row strips.  The shard count is
-/// clamped to [1, height] (a strip must own at least one whole row); rows
-/// are spread as evenly as possible (each strip gets height/shards rounded
-/// either way, never differing by more than one row).
-inline ShardPlan compute_shard_plan(const MeshShape& mesh, int requested) {
+/// Shard-count resolution shared by the Network and every CLI: an explicit
+/// positive request (a --shards=N flag or NocParams::shards set in code)
+/// beats the MDW_SHARDS environment variable; <= 0 means "unset", falling
+/// back to the environment and then to 1 (the sequential kernel).
+inline int resolve_shards(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("MDW_SHARDS");
+      env != nullptr && *env != '\0') {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+/// Build a plan from explicit strip boundaries: `rows` holds shards+1
+/// ascending row indices with rows.front() == 0 and rows.back() == height;
+/// strip i owns rows [rows[i], rows[i+1]), each at least one row.
+inline ShardPlan make_shard_plan_from_rows(const MeshShape& mesh,
+                                           const std::vector<int>& rows) {
   ShardPlan p;
   p.width = mesh.width();
   p.height = mesh.height();
-  const int w = p.width, h = p.height;
-  int s = requested < 1 ? 1 : requested;
-  if (s > h) s = h;
+  const int w = p.width;
+  const int s = static_cast<int>(rows.size()) - 1;
   p.shards = s;
   p.ranges.resize(static_cast<std::size_t>(s));
   p.shard_of.assign(static_cast<std::size_t>(mesh.num_nodes()), 0);
   for (int i = 0; i < s; ++i) {
-    const int y0 = static_cast<int>(static_cast<std::int64_t>(i) * h / s);
-    const int y1 = static_cast<int>(static_cast<std::int64_t>(i + 1) * h / s);
+    const int y0 = rows[static_cast<std::size_t>(i)];
+    const int y1 = rows[static_cast<std::size_t>(i) + 1];
     p.ranges[static_cast<std::size_t>(i)] = {y0 * w, y1 * w, y0, y1};
     for (NodeId id = y0 * w; id < y1 * w; ++id) {
       p.shard_of[static_cast<std::size_t>(id)] =
@@ -92,6 +110,87 @@ inline ShardPlan compute_shard_plan(const MeshShape& mesh, int requested) {
     }
   }
   return p;
+}
+
+/// Partition `mesh` into at most `requested` row strips.  The shard count is
+/// clamped to [1, height] (a strip must own at least one whole row); rows
+/// are spread as evenly as possible (each strip gets height/shards rounded
+/// either way, never differing by more than one row).
+inline ShardPlan compute_shard_plan(const MeshShape& mesh, int requested) {
+  const int h = mesh.height();
+  int s = requested < 1 ? 1 : requested;
+  if (s > h) s = h;
+  std::vector<int> rows(static_cast<std::size_t>(s) + 1);
+  for (int i = 0; i <= s; ++i) {
+    rows[static_cast<std::size_t>(i)] =
+        static_cast<int>(static_cast<std::int64_t>(i) * h / s);
+  }
+  return make_shard_plan_from_rows(mesh, rows);
+}
+
+/// Load-balanced partition: split the mesh into `requested` contiguous row
+/// strips minimising the maximum per-strip cost, where `row_cost[y]` is a
+/// non-negative weight for row y (occupancy-derived: scheduled routers,
+/// heatmap traffic).  Deterministic: exact integer dynamic programming over
+/// split points, ties broken toward the earliest boundary.  Shard count is
+/// clamped exactly like the equal-split overload, so a Network whose plan is
+/// recomputed with this overload keeps its shard count.
+inline ShardPlan compute_shard_plan(const MeshShape& mesh, int requested,
+                                    const std::vector<std::uint64_t>& row_cost) {
+  const int h = mesh.height();
+  int s = requested < 1 ? 1 : requested;
+  if (s > h) s = h;
+  // prefix[i] = cost of rows [0, i); cost(a, b) = prefix[b] - prefix[a].
+  std::vector<std::uint64_t> prefix(static_cast<std::size_t>(h) + 1, 0);
+  for (int y = 0; y < h; ++y) {
+    const std::uint64_t c =
+        y < static_cast<int>(row_cost.size())
+            ? row_cost[static_cast<std::size_t>(y)]
+            : 0;
+    prefix[static_cast<std::size_t>(y) + 1] =
+        prefix[static_cast<std::size_t>(y)] + c;
+  }
+  const auto cost = [&](int a, int b) {
+    return prefix[static_cast<std::size_t>(b)] -
+           prefix[static_cast<std::size_t>(a)];
+  };
+  constexpr std::uint64_t kInf = ~std::uint64_t{0};
+  // best[k][i]: minimal achievable max-strip-cost covering rows [0, i) with
+  // k strips of >= 1 row each; split[k][i]: the chosen start row of strip k.
+  std::vector<std::vector<std::uint64_t>> best(
+      static_cast<std::size_t>(s) + 1,
+      std::vector<std::uint64_t>(static_cast<std::size_t>(h) + 1, kInf));
+  std::vector<std::vector<int>> split(
+      static_cast<std::size_t>(s) + 1,
+      std::vector<int>(static_cast<std::size_t>(h) + 1, 0));
+  for (int i = 1; i <= h; ++i) best[1][static_cast<std::size_t>(i)] = cost(0, i);
+  for (int k = 2; k <= s; ++k) {
+    for (int i = k; i <= h - (s - k); ++i) {
+      std::uint64_t b = kInf;
+      int arg = k - 1;
+      for (int j = k - 1; j < i; ++j) {
+        const std::uint64_t prev = best[static_cast<std::size_t>(k) - 1]
+                                       [static_cast<std::size_t>(j)];
+        if (prev == kInf) continue;
+        const std::uint64_t cand = prev > cost(j, i) ? prev : cost(j, i);
+        if (cand < b) {  // strict: ties keep the earliest split point
+          b = cand;
+          arg = j;
+        }
+      }
+      best[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = b;
+      split[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = arg;
+    }
+  }
+  std::vector<int> rows(static_cast<std::size_t>(s) + 1);
+  rows[static_cast<std::size_t>(s)] = h;
+  int at = h;
+  for (int k = s; k >= 2; --k) {
+    at = split[static_cast<std::size_t>(k)][static_cast<std::size_t>(at)];
+    rows[static_cast<std::size_t>(k) - 1] = at;
+  }
+  rows[0] = 0;
+  return make_shard_plan_from_rows(mesh, rows);
 }
 
 } // namespace mdw::noc

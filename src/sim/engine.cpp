@@ -1,6 +1,11 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace mdw::sim {
+
+thread_local Engine::StageBuffer* Engine::stage_ = nullptr;
 
 bool Engine::step() {
   bool active = false;
@@ -15,14 +20,20 @@ bool Engine::step() {
   return active;
 }
 
+Cycle Engine::next_activity() const {
+  Cycle next = wake_pending_ ? wake_at_ : std::numeric_limits<Cycle>::max();
+  if (!queue_.empty()) next = std::min(next, queue_.next_time());
+  return next;
+}
+
 bool Engine::run_until(const std::function<bool()>& pred, Cycle max_cycles) {
   const Cycle deadline = now_ + max_cycles;
   while (now_ < deadline) {
     if (pred()) return true;
     if (!step()) {
-      // Quiescent network: jump to the next event, if any.
-      if (queue_.empty()) return pred();
-      if (queue_.next_time() > now_) now_ = queue_.next_time();
+      // Quiescent network: jump to the next event or wake request, if any.
+      if (idle_drained()) return pred();
+      if (const Cycle next = next_activity(); next > now_) now_ = next;
     }
   }
   return pred();
@@ -32,8 +43,8 @@ bool Engine::run_to_quiescence(Cycle max_cycles) {
   const Cycle deadline = now_ + max_cycles;
   while (now_ < deadline) {
     if (!step()) {
-      if (queue_.empty()) return true;
-      if (queue_.next_time() > now_) now_ = queue_.next_time();
+      if (idle_drained()) return true;
+      if (const Cycle next = next_activity(); next > now_) now_ = next;
     }
   }
   return false;
@@ -42,9 +53,13 @@ bool Engine::run_to_quiescence(Cycle max_cycles) {
 void Engine::run_for(Cycle n) {
   const Cycle deadline = now_ + n;
   while (now_ < deadline) {
-    if (!step() && queue_.empty()) {
-      now_ = deadline; // nothing can happen before the deadline
-      return;
+    if (!step()) {
+      if (idle_drained()) {
+        now_ = deadline; // nothing can happen before the deadline
+        return;
+      }
+      if (const Cycle next = next_activity(); next > now_)
+        now_ = std::min(next, deadline);
     }
   }
 }

@@ -40,6 +40,23 @@ inline std::uint64_t spin_budget(int parties) {
   return (hc != 0 && static_cast<int>(hc) < parties) ? 1 : 4096;
 }
 
+/// Spin until `pred()` holds (the predicate supplies its own acquire loads):
+/// `budget` iterations of cpu_relax, then yield on every further check.
+/// Returns the number of wait iterations — callers fold it into their
+/// ordered-progress congestion metrics (e.g. `shard.<s>.order_spins`).
+template <class Pred>
+inline std::uint64_t spin_wait(Pred&& pred, std::uint64_t budget) {
+  std::uint64_t spins = 0;
+  while (!pred()) {
+    if (++spins < budget) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  return spins;
+}
+
 /// Sense-reversing spin barrier.  The last arriver may run a serial section
 /// (counter folds, deterministic mailbox merges) while every other party is
 /// still parked, then releases them all.

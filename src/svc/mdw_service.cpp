@@ -61,7 +61,8 @@ void usage(const char* argv0) {
       "  --window=N          steady-state window width (default 10000)\n"
       "  --max-cycles=N      cycle budget (default 2000000000)\n"
       "  --seed=S            base seed (default 1)\n"
-      "  --shards=N          cycle-kernel threads (default 1)\n"
+      "  --shards=N          cycle-kernel threads (flag beats MDW_SHARDS;\n"
+      "                      default 1 = sequential kernel)\n"
       "\n"
       "output:\n"
       "  --metrics-json=PATH write the machine + stream metrics registry\n",
@@ -78,7 +79,7 @@ struct Options {
   workload::GenConfig gen;
   std::uint64_t total_ops = 200'000;
   int mesh_w = 16, mesh_h = 16;
-  int shards = 1;
+  int shards = 0;  // 0 = unset: MDW_SHARDS, then the sequential kernel
   core::Scheme scheme = core::Scheme::UiUa;
   dsm::SvcParams svc;
   workload::StreamRunnerOptions run;

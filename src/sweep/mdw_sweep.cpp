@@ -53,7 +53,8 @@ void usage(const char* argv0) {
       "options:\n"
       "  --jobs=N             worker threads (default: hardware concurrency)\n"
       "  --shards=N           cycle-kernel threads per point (row strips,\n"
-      "                       clamped to mesh height; default 1; results are\n"
+      "                       clamped to mesh height; an explicit flag beats\n"
+      "                       the MDW_SHARDS env var, default 1; results are\n"
       "                       bit-identical at any value).  Composes with\n"
       "                       --jobs: total threads ~ jobs * shards\n"
       "  --format=F           table output: plain (default) | csv | json\n"
@@ -99,7 +100,7 @@ std::vector<int> parse_int_list(const char* argv0, const std::string& flag,
 struct CliOptions {
   sweep::NamedGrid job;  // the grid to run (named or assembled inline)
   int jobs = 0;
-  int shards = 1;
+  int shards = 0;  // 0 = unset: MDW_SHARDS, then the sequential kernel
   std::string format = "plain";
   std::string points_json, metrics_json;
   bool heatmap = false;

@@ -60,8 +60,12 @@ void usage(const char* argv0) {
       "  --max-cycles=N      cycle budget (default 2000000000)\n"
       "  --seed=S            base seed (default 1)\n"
       "  --shards=N          cycle-kernel threads (row strips; clamped to\n"
-      "                      mesh height; default 1 = sequential kernel;\n"
-      "                      results are bit-identical at any value)\n"
+      "                      mesh height; an explicit flag beats the\n"
+      "                      MDW_SHARDS env var, default 1 = sequential\n"
+      "                      kernel; results are bit-identical at any value)\n"
+      "  --rebalance         recompute load-balanced shard strips from the\n"
+      "                      warmup phase's observed occupancy (no-op when\n"
+      "                      shards <= 1; results are bit-identical)\n"
       "\n"
       "output:\n"
       "  --save-trace=PATH   materialize the workload to a binary trace and\n"
@@ -83,7 +87,7 @@ struct Options {
   std::string load_trace, save_trace, metrics_json;
   std::uint64_t total_ops = 1'000'000;
   int mesh_w = 16, mesh_h = 16;
-  int shards = 1;
+  int shards = 0;  // 0 = unset: MDW_SHARDS, then the sequential kernel
   core::Scheme scheme = core::Scheme::UiUa;
   workload::StreamRunnerOptions run;
   bool print_windows = true;
@@ -189,6 +193,8 @@ Options parse_cli(int argc, char** argv) {
     } else if (flag_value(a, "--shards", v)) {
       opt.shards = std::atoi(v.c_str());
       if (opt.shards <= 0) die(argv[0], "--shards must be positive");
+    } else if (a == "--rebalance") {
+      opt.run.rebalance_after_warmup = true;
     } else if (flag_value(a, "--seed", v)) {
       opt.gen.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag_value(a, "--metrics-json", v)) {

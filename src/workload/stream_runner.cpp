@@ -89,6 +89,14 @@ StreamResult StreamRunner::run() {
 
   r.cycles = end_cycle_ - t0;
   r.accesses = accesses_;
+  r.ff_cycles = m_.network().ff_cycles();
+  if (const int shards = m_.network().shards(); shards > 1) {
+    r.shard_barrier_spins.resize(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      r.shard_barrier_spins[static_cast<std::size_t>(s)] =
+          m_.network().shard_barrier_spins(s);
+    }
+  }
   if (r.completed) r.procs = prog_;  // timed-out runs keep the snapshot
   if (opt_.windowed && warmup_done_) {
     r.warmup_end = win_.warmup_end();
@@ -113,6 +121,21 @@ StreamResult StreamRunner::run() {
 
 void StreamRunner::snapshot_metrics(obs::MetricsRegistry& reg) const {
   win_.snapshot_into(reg, end_cycle_);
+}
+
+void StreamRunner::rebalance() {
+  // Runs inside an engine event callback — between ticks, which is exactly
+  // the window Network::rebalance_shards requires.  The warmup traffic has
+  // seeded the link heatmap and the scheduled-router population the cost
+  // model reads.
+  m_.network().rebalance_shards();
+  // Strip boundaries moved: re-stamp the per-proc home shards used by
+  // describe_stalls().
+  if (m_.network().shards() > 1) {
+    for (std::size_t p = 0; p < prog_.size(); ++p) {
+      prog_[p].home_shard = m_.network().shard_of(static_cast<NodeId>(p));
+    }
+  }
 }
 
 void StreamRunner::step(int proc) {
@@ -150,6 +173,7 @@ void StreamRunner::on_access_done(int proc) {
       if (completed_accesses_ >= opt_.warmup_accesses) {
         warmup_done_ = true;
         win_.set_warmup_end(m_.engine().now());
+        if (opt_.rebalance_after_warmup) rebalance();
       }
     } else {
       win_.record_access(m_.engine().now());
@@ -217,6 +241,7 @@ void StreamRunner::svc_on_done(int proc) {
       if (completed_accesses_ >= opt_.warmup_accesses) {
         warmup_done_ = true;
         win_.set_warmup_end(m_.engine().now());
+        if (opt_.rebalance_after_warmup) rebalance();
       }
     } else {
       win_.record_access(m_.engine().now());

@@ -33,6 +33,19 @@ std::string RunResult::describe_stalls() const {
     }
     os << " node " << h << "=" << home_queue_depths[h];
   }
+  if (ff_cycles > 0) {
+    if (!first) os << "; ";
+    first = false;
+    os << "net.ff_cycles=" << ff_cycles;
+  }
+  if (!shard_barrier_spins.empty()) {
+    if (!first) os << "; ";
+    os << "shard barrier_spins:";
+    for (std::size_t s = 0; s < shard_barrier_spins.size(); ++s) {
+      os << (s == 0 ? " " : ", ") << "shard." << s << "="
+         << shard_barrier_spins[s];
+    }
+  }
   return os.str();
 }
 
@@ -55,6 +68,8 @@ RunResult TraceRunner::run(Cycle max_cycles) {
   r.completed = s.completed;
   r.procs = std::move(s.procs);
   r.home_queue_depths = std::move(s.home_queue_depths);
+  r.ff_cycles = s.ff_cycles;
+  r.shard_barrier_spins = std::move(s.shard_barrier_spins);
   return r;
 }
 

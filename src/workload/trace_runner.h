@@ -39,10 +39,19 @@ struct RunResult {
   /// backpressure (pipeline_depth too small for the offered load), one with
   /// empty queues at the protocol or the network.
   std::vector<std::size_t> home_queue_depths;
+  /// Simulated cycles skipped by the network's quiescence fast-forward: a
+  /// timed-out run that fast-forwarded most of its budget was starved of
+  /// work (a protocol deadlock), not slow.
+  std::uint64_t ff_cycles = 0;
+  /// Per-shard barrier spin counters (empty with the sequential kernel): a
+  /// stall where one shard's spins dwarf the rest points at a load-imbalanced
+  /// strip partition.
+  std::vector<std::uint64_t> shard_barrier_spins;
 
   /// One-line summary of stuck processors ("proc 3: 17 ops, at barrier 2;
-  /// ..."), plus any non-empty per-home invalidation queues; empty when
-  /// every processor completed.
+  /// ..."), plus any non-empty per-home invalidation queues and the cycle
+  /// kernel's health counters (fast-forwarded cycles, per-shard barrier
+  /// spins); empty when every processor completed.
   [[nodiscard]] std::string describe_stalls() const;
 };
 

@@ -38,17 +38,26 @@ struct Fingerprint {
 };
 
 Fingerprint run_workload(core::Scheme scheme, bool full_sweep,
-                         std::uint64_t seed, int shards = 1) {
+                         std::uint64_t seed, int shards = 1,
+                         bool fast_forward = true, bool rebalance = false) {
   dsm::SystemParams p;
   p.mesh_w = p.mesh_h = 8;
   p.scheme = scheme;
   p.noc.full_sweep = full_sweep;
   p.noc.shards = shards;
+  p.noc.fast_forward = fast_forward;
   dsm::Machine m(p);
   sim::Rng rng(seed);
   const int n = m.num_nodes();
 
   for (int rep = 0; rep < 4; ++rep) {
+    if (rebalance && rep == 1) {
+      // Recompute the shard strips from the traffic rep 0 left in the link
+      // heatmap: the remaining reps run under a cost-model (load-balanced)
+      // plan instead of the equal-split one.  Quiescence above means we are
+      // between ticks, which is the window rebalance_shards requires.
+      m.network().rebalance_shards();
+    }
     const auto home = static_cast<NodeId>(rng.next_below(n));
     NodeId writer = home;
     while (writer == home) writer = static_cast<NodeId>(rng.next_below(n));
@@ -204,20 +213,46 @@ TEST(Determinism, ActiveRegionMatchesFullSweep) {
 }
 
 TEST(Determinism, ShardCountInvariance) {
-  // The sharded parallel cycle kernel (DESIGN.md section 14) must be
+  // The sharded parallel cycle kernel (DESIGN.md sections 14 and 16) must be
   // bit-identical to the sequential kernel: same latencies, flit-hops,
   // occupancy, and end cycle at every shard count, under both scheduling
-  // modes.  shards=8 on the 8x8 mesh is the one-row-per-shard extreme.
+  // modes.  shards=8 on the 8x8 mesh is the one-row-per-shard extreme, and
+  // the rebalanced variant swaps in a cost-model (load-balanced) strip plan
+  // mid-run — any contiguous row partition must give the same answer.
   for (core::Scheme s : kSchemes) {
     const Fingerprint seq_active = run_workload(s, /*full_sweep=*/false, 42);
     const Fingerprint seq_sweep = run_workload(s, /*full_sweep=*/true, 42);
-    for (int shards : {2, 4, 8}) {
+    for (int shards : {1, 2, 4, 8}) {
       EXPECT_EQ(run_workload(s, false, 42, shards), seq_active)
           << "scheme " << core::scheme_name(s) << " shards=" << shards;
       EXPECT_EQ(run_workload(s, true, 42, shards), seq_sweep)
           << "scheme " << core::scheme_name(s) << " shards=" << shards
           << " (full sweep)";
+      EXPECT_EQ(run_workload(s, false, 42, shards, true, /*rebalance=*/true),
+                seq_active)
+          << "scheme " << core::scheme_name(s) << " shards=" << shards
+          << " (rebalanced)";
     }
+  }
+}
+
+TEST(Determinism, FastForwardInvariance) {
+  // Quiescence fast-forward (jumping simulated time across gap cycles where
+  // no router can act) is a pure scheduling optimization: with it disabled
+  // every fingerprint field — including end cycle and the round-robin
+  // dependent latencies — must match the default fast-forwarding run, for
+  // both the sequential and the sharded kernel.
+  for (core::Scheme s : kSchemes) {
+    const Fingerprint ff_on = run_workload(s, /*full_sweep=*/false, 42);
+    const Fingerprint ff_off =
+        run_workload(s, false, 42, /*shards=*/1, /*fast_forward=*/false);
+    EXPECT_EQ(ff_off, ff_on) << "scheme " << core::scheme_name(s);
+    for (int shards : {2, 4}) {
+      EXPECT_EQ(run_workload(s, false, 42, shards, /*fast_forward=*/false),
+                ff_on)
+          << "scheme " << core::scheme_name(s) << " shards=" << shards;
+    }
+    EXPECT_GT(ff_on.inval_txns, 0u);
   }
 }
 

@@ -113,6 +113,66 @@ TEST(ShardPlan, BandRemotesAreExactlyCrossShardWithinDistance2) {
   }
 }
 
+TEST(ShardPlan, CostModelIsolatesHotRows) {
+  // The load-balanced overload on a synthetic hot-spot map: rows 3 and 4 of
+  // an 8-row mesh carry 100x the traffic of the rest.  The unique min-max
+  // partition into 4 strips isolates each hot row in its own strip —
+  // {0-2}, {3}, {4}, {5-7}, max strip cost 100.  Any plan that merges a hot
+  // row with anything else costs >= 101; merging the two hot rows costs 200.
+  const MeshShape mesh(8, 8);
+  const std::vector<std::uint64_t> cost = {1, 1, 1, 100, 100, 1, 1, 1};
+  const ShardPlan p = compute_shard_plan(mesh, 4, cost);
+  ASSERT_EQ(p.shards, 4);
+  ASSERT_EQ(p.ranges.size(), 4u);
+  const int expect_y0[] = {0, 3, 4, 5};
+  const int expect_y1[] = {3, 4, 5, 8};
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(p.ranges[static_cast<std::size_t>(s)].y0, expect_y0[s])
+        << "strip " << s;
+    EXPECT_EQ(p.ranges[static_cast<std::size_t>(s)].y1, expect_y1[s])
+        << "strip " << s;
+    EXPECT_EQ(p.ranges[static_cast<std::size_t>(s)].lo, expect_y0[s] * 8);
+    EXPECT_EQ(p.ranges[static_cast<std::size_t>(s)].hi, expect_y1[s] * 8);
+  }
+  // shard_of agrees with the strips, covering every node exactly once.
+  for (NodeId id = 0; id < mesh.num_nodes(); ++id) {
+    const int s = p.shard_of[static_cast<std::size_t>(id)];
+    EXPECT_GE(id, p.ranges[static_cast<std::size_t>(s)].lo);
+    EXPECT_LT(id, p.ranges[static_cast<std::size_t>(s)].hi);
+  }
+}
+
+TEST(ShardPlan, CostModelTieBreaksTowardEarliestSplit) {
+  // All-zero costs make every contiguous partition optimal (max cost 0); the
+  // DP's strict `<` over ascending split points must then pick the earliest
+  // feasible boundary at every level: one-row strips first, remainder last.
+  const MeshShape mesh(4, 4);
+  const ShardPlan p =
+      compute_shard_plan(mesh, 2, std::vector<std::uint64_t>{0, 0, 0, 0});
+  ASSERT_EQ(p.shards, 2);
+  EXPECT_EQ(p.ranges[0].y0, 0);
+  EXPECT_EQ(p.ranges[0].y1, 1);
+  EXPECT_EQ(p.ranges[1].y0, 1);
+  EXPECT_EQ(p.ranges[1].y1, 4);
+}
+
+TEST(ShardPlan, CostModelClampsAndPadsLikeEqualSplit) {
+  // Requests beyond the mesh height clamp to one strip per row, and a cost
+  // vector shorter than the height treats missing rows as zero cost — both
+  // without violating coverage.
+  const MeshShape mesh(6, 4);
+  const ShardPlan p =
+      compute_shard_plan(mesh, 16, std::vector<std::uint64_t>{5, 7});
+  ASSERT_EQ(p.shards, 4);
+  int expect_lo = 0;
+  for (const ShardPlan::Range& r : p.ranges) {
+    EXPECT_EQ(r.lo, expect_lo);
+    EXPECT_EQ(r.y1, r.y0 + 1);
+    expect_lo = r.hi;
+  }
+  EXPECT_EQ(expect_lo, mesh.num_nodes());
+}
+
 TEST(ShardKernel, ShardCountClampsToMeshHeight) {
   sim::Engine eng;
   NocParams p;
