@@ -30,11 +30,23 @@ efficiency falls below P fails the run.  The cpus<2 skip path applies to the
 gate too: a host with no hardware parallelism cannot measure efficiency, so
 the gate is skipped there with a note rather than failing spuriously.
 
+Duplicate detection: a (label, scenario, shards) triple appearing on more
+than one trajectory point draws a warning on stderr — re-running a benchmark
+under an already-used label silently shadows the older numbers, which makes
+"newest earlier point" baselines ambiguous.  The right fix is either a new
+label for the new measurement or --latest-only.
+
+--latest-only: before any gate runs, thin the trajectory to the NEWEST point
+per (label, shards) pair, preserving file order.  This makes re-measured
+labels well-defined (the latest measurement wins) and silences the duplicate
+warnings for points the thinning removed.
+
 Usage:
     scripts/check_simspeed.py [--trajectory BENCH_simspeed.json]
                               [--tolerance 0.10] [--baseline LABEL]
                               [--min-efficiency 0.50]
                               [--efficiency-min P]
+                              [--latest-only]
 """
 
 from __future__ import annotations
@@ -80,6 +92,42 @@ def mesh_of(name: str) -> int:
         if x and edge.isdigit():
             return int(edge)
     return 0
+
+
+def warn_duplicates(points: list[dict]) -> int:
+    """Warn (stderr) about (label, scenario, shards) triples measured twice.
+
+    Returns the number of duplicated triples.  Duplicates are legal — the
+    trajectory is append-only history — but they make label-based baselines
+    ambiguous, so they deserve a loud note.
+    """
+    seen: dict[tuple[str, str, int], list[int]] = {}
+    for i, p in enumerate(points):
+        for r in p.get("results", []):
+            key = (label_of(p), str(r["name"]), shards_of(p))
+            seen.setdefault(key, []).append(i)
+    dups = sorted(k for k, v in seen.items() if len(v) > 1)
+    for label, name, shards in dups:
+        idxs = seen[(label, name, shards)]
+        print(f"check_simspeed: warning: duplicate trajectory point for "
+              f"label '{label}' scenario '{name}' shards={shards} "
+              f"(points {', '.join(str(i) for i in idxs)}); label-based "
+              f"baselines use the newest — consider --latest-only or a "
+              f"fresh label", file=sys.stderr)
+    return len(dups)
+
+
+def thin_to_latest(points: list[dict]) -> list[dict]:
+    """Keep only the newest point per (label, shards), preserving order."""
+    newest: dict[tuple[str, int], int] = {}
+    for i, p in enumerate(points):
+        newest[(label_of(p), shards_of(p))] = i
+    keep = set(newest.values())
+    kept = [p for i, p in enumerate(points) if i in keep]
+    if len(kept) < len(points):
+        print(f"check_simspeed: --latest-only kept {len(kept)} of "
+              f"{len(points)} trajectory points (newest per label+shards)")
+    return kept
 
 
 def check_regression(points: list[dict], baseline_label: str | None,
@@ -219,9 +267,18 @@ def main() -> int:
                     help="hard gate: fail when a 32x32+ scenario's parallel "
                          "efficiency falls below P (default: off; skipped "
                          "on hosts with cpus < 2)")
+    ap.add_argument("--latest-only", action="store_true",
+                    help="thin the trajectory to the newest point per "
+                         "(label, shards) pair before running the gates")
     args = ap.parse_args()
 
     points = load_points(args.trajectory)
+    if args.latest_only:
+        points = thin_to_latest(points)
+        if len(points) < 2:
+            sys.exit("check_simspeed: --latest-only left fewer than 2 points")
+    else:
+        warn_duplicates(points)
     rc = check_regression(points, args.baseline, args.tolerance)
     eff_failures = check_efficiency(points, args.min_efficiency,
                                     args.efficiency_min)

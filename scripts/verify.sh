@@ -50,6 +50,26 @@ cmake --build "$REL_BUILD" -j "$JOBS" \
 # bit-identity pinned in the tests, this just has to complete.
 "$REL_BUILD"/bench/bench_simspeed --shards=16 --benchmark_min_time=0.02 \
     --benchmark_filter='Burst/16x16'
+# Fast-forward disabled smoke: MDW_NO_FF=1 walks every idle cycle through
+# the full scheduler instead of jumping gaps, so the non-fast-forward tick
+# path gets an -O3 run too (it is bit-identical by test, but only this
+# exercises its codegen at Release optimization levels).
+MDW_NO_FF=1 "$REL_BUILD"/bench/bench_simspeed --benchmark_min_time=0.02 \
+    --benchmark_filter='Burst/8x8|Stream/16x16'
+# Cache-behaviour snapshot of the SoA router arena (EXPERIMENTS.md has the
+# methodology and reference numbers).  perf needs both the binary and the
+# kernel's permission (perf_event_paranoid), so probe with a real counter
+# read and skip quietly when either is missing — CI boxes and containers
+# often have no perf.
+if command -v perf >/dev/null 2>&1 && \
+   perf stat -e cache-misses true >/dev/null 2>&1; then
+  echo "--- perf stat: cache misses, Burst/32x32 ---"
+  perf stat -e cache-references,cache-misses \
+      "$REL_BUILD"/bench/bench_simspeed --benchmark_min_time=0.05 \
+      --benchmark_filter='Burst/32x32' 2>&1 | tail -8
+else
+  echo "perf unavailable (not installed or not permitted): cache-miss snapshot skipped"
+fi
 # Throughput regression gate plus the parallel-efficiency floor.  0.30 is
 # deliberately conservative (the ISSUE targets 0.65 on a real multi-core
 # box); on single-CPU hosts check_simspeed skips the gate with a note.

@@ -1,100 +1,92 @@
-// Flit and the fixed-capacity flit ring buffer backing every input VC and
+// Flit and the fixed-capacity ring-buffer view backing every input VC and
 // consumption channel.
 //
 // VC buffers are 2-4 flits deep (NocParams::vc_buffer_flits /
-// cons_buffer_flits) and live for the whole simulation, yet the seed modeled
-// them as std::deque<Flit> — a chunked heap container allocating and freeing
-// as flits stream through.  FlitRing stores the common depths inline in the
-// router object (<= kInlineFlits); deeper configurations take one heap block
-// at construction time and never allocate again.
+// cons_buffer_flits) and live for the whole simulation.  The seed modeled
+// them as std::deque<Flit>; a later pass inlined them into per-router
+// FlitRing objects; they now live in the RouterArena flit slabs (arena.h),
+// with the head/size indices packed into the owning VcHot/ConsHot record.
+// RingView is the access object: two pointers into the arena plus the fixed
+// capacity, constructed inline by the router phases — flit movement is pure
+// index arithmetic into one contiguous allocation, nothing here ever
+// allocates.
 #pragma once
 
 #include <cassert>
-#include <memory>
+#include <cstdint>
 
 #include "sim/types.h"
 
 namespace mdw::noc {
 
-/// One flit in a buffer.  Deliberately tiny: worm ownership lives in
-/// InputVc::owner / ConsumptionChannel::worm, so moving a flit is a copy of
-/// two flags and a timestamp — no refcount traffic on the hop path.
+/// One flit in a buffer, packed into a single word: bit 63 = head flit,
+/// bit 62 = tail flit, low 62 bits = arrival cycle.  Worm ownership lives
+/// in the arena's owner arrays, so moving a flit is one 8-byte copy — no
+/// refcount traffic on the hop path, and a vc_buffer_flits=4 ring is half
+/// a cache line in the arena flit slab instead of a full one.  62 bits of
+/// cycle space at 5 ns per cycle is ~700 years of simulated time, so the
+/// packing can never change an arrival comparison.
 struct Flit {
-  bool head = false;
-  bool tail = false;
-  Cycle arrival = 0;
+  static constexpr std::uint64_t kHeadBit = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kTailBit = std::uint64_t{1} << 62;
+
+  std::uint64_t bits = 0;
+
+  Flit() = default;
+  Flit(bool head, bool tail, Cycle arrival)
+      : bits(arrival | (head ? kHeadBit : 0) | (tail ? kTailBit : 0)) {
+    assert((arrival & (kHeadBit | kTailBit)) == 0);
+  }
+
+  [[nodiscard]] bool head() const { return (bits & kHeadBit) != 0; }
+  [[nodiscard]] bool tail() const { return (bits & kTailBit) != 0; }
+  [[nodiscard]] Cycle arrival() const { return bits & ~(kHeadBit | kTailBit); }
+};
+static_assert(sizeof(Flit) == 8);
+
+/// Ring occupancy indices, embedded in the hot per-VC/per-channel records.
+/// 8-bit: buffer depths are hardware FIFO depths (<= 255 asserted at arena
+/// construction).
+struct RingIdx {
+  std::uint8_t head = 0;
+  std::uint8_t size = 0;
 };
 
-class FlitRing {
+/// Fixed-capacity FIFO view over `cap` contiguous Flit slots at `base`, with
+/// occupancy kept in an external RingIdx.  Capacity is fixed at router
+/// construction (the buffers are hardware FIFOs: their depth never changes).
+class RingView {
 public:
-  /// Inline depth; covers the default VC (4) and consumption (2) buffers.
-  static constexpr int kInlineFlits = 8;
-
-  FlitRing() = default;
-  FlitRing(const FlitRing&) = delete;
-  FlitRing& operator=(const FlitRing&) = delete;
-  // Movable so InputVc vectors can be resized at router construction.
-  FlitRing(FlitRing&& o) noexcept
-      : heap_(std::move(o.heap_)), cap_(o.cap_), head_(o.head_),
-        size_(o.size_) {
-    for (int i = 0; i < kInlineFlits; ++i) inline_[i] = o.inline_[i];
-    o.cap_ = o.head_ = o.size_ = 0;
-  }
-  FlitRing& operator=(FlitRing&& o) noexcept {
-    if (this != &o) {
-      heap_ = std::move(o.heap_);
-      cap_ = o.cap_;
-      head_ = o.head_;
-      size_ = o.size_;
-      for (int i = 0; i < kInlineFlits; ++i) inline_[i] = o.inline_[i];
-      o.cap_ = o.head_ = o.size_ = 0;
-    }
-    return *this;
-  }
-
-  /// Fix the capacity.  Called once at router construction (the buffers are
-  /// hardware FIFOs: their depth never changes afterwards).
-  void init(int capacity) {
-    assert(capacity > 0 && size_ == 0);
-    cap_ = capacity;
-    if (cap_ > kInlineFlits) heap_ = std::make_unique<Flit[]>(cap_);
-    head_ = 0;
-  }
+  RingView(Flit* base, RingIdx* idx, int cap) : base_(base), idx_(idx), cap_(cap) {}
 
   [[nodiscard]] int capacity() const { return cap_; }
-  [[nodiscard]] int size() const { return size_; }
-  [[nodiscard]] bool empty() const { return size_ == 0; }
-  [[nodiscard]] bool full() const { return size_ == cap_; }
+  [[nodiscard]] int size() const { return idx_->size; }
+  [[nodiscard]] bool empty() const { return idx_->size == 0; }
+  [[nodiscard]] bool full() const { return idx_->size == cap_; }
 
   [[nodiscard]] const Flit& front() const {
-    assert(size_ > 0);
-    return data()[head_];
+    assert(idx_->size > 0);
+    return base_[idx_->head];
   }
 
   void push_back(const Flit& f) {
-    assert(size_ < cap_);
-    data()[wrap(head_ + size_)] = f;
-    ++size_;
+    assert(idx_->size < cap_);
+    base_[wrap(idx_->head + idx_->size)] = f;
+    ++idx_->size;
   }
 
   void pop_front() {
-    assert(size_ > 0);
-    head_ = wrap(head_ + 1);
-    --size_;
+    assert(idx_->size > 0);
+    idx_->head = static_cast<std::uint8_t>(wrap(idx_->head + 1));
+    --idx_->size;
   }
 
 private:
-  [[nodiscard]] Flit* data() { return heap_ != nullptr ? heap_.get() : inline_; }
-  [[nodiscard]] const Flit* data() const {
-    return heap_ != nullptr ? heap_.get() : inline_;
-  }
   [[nodiscard]] int wrap(int i) const { return i >= cap_ ? i - cap_ : i; }
 
-  Flit inline_[kInlineFlits];
-  std::unique_ptr<Flit[]> heap_;  // only for capacities > kInlineFlits
-  int cap_ = 0;
-  int head_ = 0;
-  int size_ = 0;
+  Flit* base_;
+  RingIdx* idx_;
+  int cap_;
 };
 
 } // namespace mdw::noc

@@ -1,14 +1,9 @@
 #include "noc/iack_buffer.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace mdw::noc {
-
-bool IAckBufferBank::has_free() const {
-  for (const auto& e : entries_)
-    if (!e.valid) return true;
-  return false;
-}
 
 IAckBufferBank::Entry* IAckBufferBank::find(TxnId txn) {
   for (auto& e : entries_)
@@ -17,9 +12,19 @@ IAckBufferBank::Entry* IAckBufferBank::find(TxnId txn) {
 }
 
 IAckBufferBank::Entry* IAckBufferBank::alloc() {
-  for (auto& e : entries_)
-    if (!e.valid) return &e;
+  for (auto& e : entries_) {
+    if (!e.valid) {
+      ++in_use_;
+      return &e;
+    }
+  }
   return nullptr;
+}
+
+void IAckBufferBank::release(Entry& e) {
+  assert(e.valid && in_use_ > 0);
+  e = Entry{};
+  --in_use_;
 }
 
 bool IAckBufferBank::reserve(TxnId txn, int expected) {
@@ -55,7 +60,7 @@ std::optional<WormPtr> IAckBufferBank::post(TxnId txn, int count, bool* accepted
   if (e->parked != nullptr && e->arrived >= e->expected) {
     WormPtr w = std::move(e->parked);
     w->gathered += e->count;
-    *e = Entry{};
+    release(*e);
     return w;
   }
   return std::nullopt;
@@ -78,7 +83,7 @@ std::optional<int> IAckBufferBank::pickup(TxnId txn, int expected_if_new,
   }
   if (e->arrived >= e->expected) {
     const int count = e->count;
-    *e = Entry{};
+    release(*e);
     return count;
   }
   if (e->parked != nullptr) {
@@ -91,13 +96,6 @@ std::optional<int> IAckBufferBank::pickup(TxnId txn, int expected_if_new,
   e->parked = worm;
   ++deferred_;
   return std::nullopt;
-}
-
-int IAckBufferBank::entries_in_use() const {
-  int n = 0;
-  for (const auto& e : entries_)
-    if (e.valid) ++n;
-  return n;
 }
 
 } // namespace mdw::noc

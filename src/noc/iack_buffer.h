@@ -23,7 +23,9 @@ public:
   explicit IAckBufferBank(int num_entries) : entries_(num_entries) {}
 
   [[nodiscard]] int capacity() const { return static_cast<int>(entries_.size()); }
-  [[nodiscard]] bool has_free() const;
+  [[nodiscard]] bool has_free() const {
+    return in_use_ < static_cast<int>(entries_.size());
+  }
 
   /// Reserve an entry for `txn` expecting `expected` posts.  Returns false
   /// when the bank is full (the reserving worm must block: hold-and-wait).
@@ -49,7 +51,9 @@ public:
   [[nodiscard]] std::optional<int> pickup(TxnId txn, int expected_if_new,
                                           const WormPtr& worm, bool* blocked);
 
-  [[nodiscard]] int entries_in_use() const;
+  /// Cached occupancy (maintained at entry grant/release): the trace path
+  /// samples this once per allocation event, so it must not rescan the bank.
+  [[nodiscard]] int entries_in_use() const { return in_use_; }
   [[nodiscard]] std::uint64_t deferred_count() const { return deferred_; }
   [[nodiscard]] std::uint64_t reserve_blocked_count() const { return reserve_blocked_; }
   void note_reserve_blocked() { ++reserve_blocked_; }
@@ -65,9 +69,13 @@ private:
   };
 
   Entry* find(TxnId txn);
+  /// Grab a free entry (counted into in_use_); the caller fills it in.
   Entry* alloc();
+  /// Reset `e` to invalid and release its occupancy count.
+  void release(Entry& e);
 
   std::vector<Entry> entries_;
+  int in_use_ = 0;
   std::uint64_t deferred_ = 0;
   std::uint64_t reserve_blocked_ = 0;
 };

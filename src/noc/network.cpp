@@ -35,9 +35,12 @@ Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& param
   metrics_ = metrics;
   stats_.worm_latency.bind(&metrics_->histogram("worm_latency", 0.0, 16.0, 256));
   const int n = mesh_.num_nodes();
-  routers_.reserve(n);
+  arena_.init(n, params_.vcs_total(), params_.inj_vcs_total(),
+              params_.vc_buffer_flits, params_.consumption_channels,
+              params_.cons_buffer_flits);
+  routers_.reserve(static_cast<std::size_t>(n));
   for (NodeId id = 0; id < n; ++id) {
-    routers_.push_back(std::make_unique<Router>(*this, id, params_));
+    routers_.emplace_back(*this, arena_, id, params_);
   }
   ifaces_.resize(n);
   for (auto& iface : ifaces_) {
@@ -57,9 +60,12 @@ Network::Network(sim::Engine& eng, const MeshShape& mesh, const NocParams& param
     for (int d = 0; d < kNumLinkDirs; ++d) {
       const NodeId nbr = mesh_.neighbor(id, static_cast<Dir>(d));
       if (nbr == kInvalidNode) continue;
-      auto& link = routers_[id]->out_[d];
-      link.nbr = routers_[nbr].get();
+      auto& link = routers_[static_cast<std::size_t>(id)].out_[d];
+      link.nbr = nbr;
       link.nbr_port = static_cast<int>(opposite(static_cast<Dir>(d)));
+      link.nbr_vhot = arena_.vc_hot(nbr);
+      link.nbr_vflit = arena_.vc_flits(nbr);
+      link.nbr_words = &arena_.words(nbr);
     }
   }
   const char* ff_env = std::getenv("MDW_NO_FF");
@@ -164,7 +170,7 @@ void Network::try_pending_posts(NodeId n) {
     auto [txn, count] = iface.pending_posts.front();
     iface.pending_posts.pop_front();
     bool accepted = false;
-    auto released = routers_[n]->bank().post(txn, count, &accepted);
+    auto released = router(n).bank().post(txn, count, &accepted);
     if (!accepted) {
       // Bank full: re-park. Leaves the ring's element sequence (and all
       // other state) unchanged, so a tick whose posts all re-park is still
@@ -179,7 +185,7 @@ void Network::try_pending_posts(NodeId n) {
       --shard_ctx_[plan_.shard_of[static_cast<std::size_t>(n)]].work_posts;
     }
     if (tracer_) {
-      trace_bank_occupancy(n, routers_[n]->bank().entries_in_use(), eng_.now());
+      trace_bank_occupancy(n, router(n).bank().entries_in_use(), eng_.now());
     }
     if (released.has_value()) reinject(n, std::move(*released));
   }
@@ -189,11 +195,12 @@ void Network::try_pending_posts(NodeId n) {
 void Network::service_injection(NodeId n, Cycle now) {
   auto& iface = ifaces_[n];
   if (iface.inj_work == 0) return;  // nothing queued, nothing streaming
-  Router& r = *routers_[n];
+  Router& r = routers_[static_cast<std::size_t>(n)];
+  NodeWords& w = arena_.words(n);
   const int local = static_cast<int>(Dir::Local);
   for (int v = 0; v < params_.inj_vcs_total(); ++v) {
     auto& st = iface.streaming[v];
-    InputVc& ivc = r.vc(local, v);
+    VcHot& ivc = r.vc(local, v);
     if (st.worm == nullptr) {
       // Start a new worm on this VC if one of matching vnet is queued.
       const int vnet = v / params_.inj_vcs_per_vnet;
@@ -202,16 +209,18 @@ void Network::service_injection(NodeId n, Cycle now) {
       st.worm = std::move(q.front());
       q.pop_front();
       st.flits_pushed = 0;
-      ivc.owner = st.worm;
+      r.vc_owner(local, v) = st.worm;
+      ivc.claimed = 1;
     }
     // Stream at most one flit per cycle into the Local input VC.
-    if (ivc.buf.full()) continue;
+    RingView ring = r.vc_ring(r.slot(local, v));
+    if (ring.full()) continue;
     const bool head = st.flits_pushed == 0;
     const bool tail = st.flits_pushed == st.worm->length_flits - 1;
-    ivc.buf.push_back(Flit{head, tail, now});
+    ring.push_back(Flit{head, tail, now});
     ff_note_acted();
     ++counters().live_flits;
-    ++r.active_work_;
+    ++w.active_work;
     if (head) {
       ivc.ready_at = now + params_.router_delay;
       r.note_head_arrival(local, v);
@@ -284,25 +293,6 @@ void Network::on_gather_deposit(NodeId at, const WormPtr& worm) {
   post_iack(at, worm->txn, worm->gathered);
 }
 
-void Network::wake_router(NodeId id) {
-  if (full_sweep_) return;
-  Router& r = *routers_[id];
-  if (r.scheduled_) return;
-  r.scheduled_ = true;
-  if (sharded_active_) {
-    // Words straddle strip boundaries, and traverse wakes cross-shard
-    // neighbours; the bit-set must be atomic.  (The scheduled_ flag itself
-    // needs no atomicity: all of a router's wakers sit within Manhattan
-    // distance 1 of it, and the traverse front order separates any two
-    // actors within distance 2 with a release/acquire progress edge.)
-    const std::atomic_ref<std::uint64_t> word(
-        sched_words_[static_cast<std::size_t>(id) >> 6]);
-    word.fetch_or(1ull << (id & 63), std::memory_order_relaxed);
-  } else {
-    sched_words_[static_cast<std::size_t>(id) >> 6] |= 1ull << (id & 63);
-  }
-}
-
 template <class F>
 void Network::for_each_scheduled(int start, F&& f) {
   // Each word is visited once; within the current word the bitmap is
@@ -327,7 +317,7 @@ void Network::for_each_scheduled(int start, F&& f) {
 }
 
 bool Network::node_has_work(NodeId id) const {
-  if (routers_[id]->active_work_ > 0) return true;
+  if (arena_.words(id).active_work > 0) return true;
   const NetIface& iface = ifaces_[id];
   return iface.inj_work > 0 || !iface.pending_posts.empty();
 }
@@ -369,9 +359,10 @@ void Network::ff_resume(Cycle now) {
         (static_cast<Cycle>(rotate_) + skipped % static_cast<Cycle>(n)) %
         static_cast<Cycle>(n));
     const int rr = static_cast<int>(skipped % kNumPorts);
-    for (const auto& r : routers_) {
-      if (r->active_work_ > 0) {
-        r->rr_port_ = (r->rr_port_ + rr) % kNumPorts;
+    for (NodeId id = 0; id < n; ++id) {
+      NodeWords& w = arena_.words(id);
+      if (w.active_work > 0) {
+        w.rr_port = static_cast<std::uint8_t>((w.rr_port + rr) % kNumPorts);
       }
     }
     ff_cycles_ += skipped;
@@ -400,14 +391,14 @@ bool Network::tick(Cycle now) {
     for (int i = 0; i < n; ++i) {
       const NodeId id = (start + i) % n;
       if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
-      routers_[id]->drain_consumption(now);
+      routers_[id].drain_consumption(now);
     }
     for (int i = 0; i < n; ++i) {
       const NodeId id = (start + i) % n;
       service_injection(id, now);
     }
-    for (int i = 0; i < n; ++i) routers_[(start + i) % n]->allocate(now);
-    for (int i = 0; i < n; ++i) routers_[(start + i) % n]->traverse(now);
+    for (int i = 0; i < n; ++i) routers_[(start + i) % n].allocate(now);
+    for (int i = 0; i < n; ++i) routers_[(start + i) % n].traverse(now);
     return ff_epilogue(now);
   }
 
@@ -422,23 +413,24 @@ bool Network::tick(Cycle now) {
   if (cnt_.pending_posts != 0 || cnt_.cons_flits_total != 0) {
     for_each_scheduled(start, [&](NodeId id) {
       if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
-      routers_[id]->drain_consumption(now);
+      routers_[id].drain_consumption(now);
     });
   }
   if (cnt_.queued_worms != 0) {
     for_each_scheduled(start, [&](NodeId id) { service_injection(id, now); });
   }
   if (cnt_.pending_heads_total != 0) {
-    for_each_scheduled(start, [&](NodeId id) { routers_[id]->allocate(now); });
+    for_each_scheduled(start, [&](NodeId id) { routers_[id].allocate(now); });
   }
-  for_each_scheduled(start, [&](NodeId id) { routers_[id]->traverse(now); });
+  for_each_scheduled(start, [&](NodeId id) { routers_[id].traverse(now); });
 
   // Deschedule fully drained routers; they re-enter via wake_router.  Only
   // routers that hit a work-emptying transition this cycle (note_maybe_idle)
   // can have turned idle, so only those are re-checked.
   for (const NodeId id : idle_checks_) {
-    if (routers_[id]->scheduled_ && !node_has_work(id)) {
-      routers_[id]->scheduled_ = false;
+    NodeWords& w = arena_.words(id);
+    if (w.scheduled && !node_has_work(id)) {
+      w.scheduled = false;
       sched_words_[static_cast<std::size_t>(id) >> 6] &= ~(1ull << (id & 63));
     }
   }

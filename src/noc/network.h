@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "noc/arena.h"
 #include "noc/route_cache.h"
 #include "noc/router.h"
 #include "noc/routing.h"
@@ -89,7 +90,11 @@ public:
 
   [[nodiscard]] const MeshShape& mesh() const { return mesh_; }
   [[nodiscard]] const NocParams& params() const { return params_; }
-  [[nodiscard]] Router& router(NodeId id) { return *routers_[id]; }
+  [[nodiscard]] Router& router(NodeId id) {
+    return routers_[static_cast<std::size_t>(id)];
+  }
+  /// The flat hot-state arena every router views into (see arena.h).
+  [[nodiscard]] RouterArena& arena() { return arena_; }
   [[nodiscard]] NetworkStats& stats() { return stats_; }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] sim::Engine& engine() { return eng_; }
@@ -288,7 +293,27 @@ public:
   /// posts.  During a tick the router is spliced into the current sweep at
   /// its rotating-arbitration position, so activity discovered mid-cycle is
   /// handled exactly when the exhaustive sweep would have reached it.
-  void wake_router(NodeId id);
+  /// Inline two-word fast path: dense traffic re-wakes already-scheduled
+  /// routers almost every flit, so the `scheduled` test must not cost a
+  /// call.  The overload taking `words` serves callers that already hold
+  /// the node's cached NodeWords (Router::try_move_flit via OutLink).
+  void wake_router(NodeId id) { wake_router(id, arena_.words(id)); }
+  void wake_router(NodeId id, NodeWords& w) {
+    if (full_sweep_ || w.scheduled) return;
+    w.scheduled = true;
+    if (sharded_active_) {
+      // Words straddle strip boundaries, and traverse wakes cross-shard
+      // neighbours; the bit-set must be atomic.  (The scheduled flag itself
+      // needs no atomicity: all of a router's wakers sit within Manhattan
+      // distance 1 of it, and the traverse front order separates any two
+      // actors within distance 2 with a release/acquire progress edge.)
+      const std::atomic_ref<std::uint64_t> word(
+          sched_words_[static_cast<std::size_t>(id) >> 6]);
+      word.fetch_or(1ull << (id & 63), std::memory_order_relaxed);
+    } else {
+      sched_words_[static_cast<std::size_t>(id) >> 6] |= 1ull << (id & 63);
+    }
+  }
 
   /// True while the node can make progress without an external wake: flits
   /// resident in the router, posts to retry, or worms queued/streaming at
@@ -436,7 +461,10 @@ private:
   MeshShape mesh_;
   NocParams params_;
   RouteCache route_cache_;
-  std::vector<std::unique_ptr<Router>> routers_;
+  /// Hot router state, one flat SoA allocation (declared before routers_:
+  /// the router views point into it and must be destroyed first).
+  RouterArena arena_;
+  std::vector<Router> routers_;
   std::vector<NetIface> ifaces_;
   DeliveryHandler deliver_;
   NetworkStats stats_;
@@ -466,7 +494,7 @@ private:
 
   // --- active-region scheduling (see DESIGN.md "Scheduling model") --------
   bool full_sweep_ = false;              // escape hatch: tick all routers
-  /// One bit per router: on the active region (mirrors Router::scheduled_).
+  /// One bit per router: on the active region (mirrors NodeWords::scheduled).
   /// Replaces a sorted worklist vector — waking is a bit-set, and each tick
   /// phase streams the words in rotated order instead of sorting.
   std::vector<std::uint64_t> sched_words_;

@@ -87,14 +87,14 @@ void Network::shard_main(int s) {
   if (ctx.work_posts != 0 || ctx.work_cons != 0) {
     sweep_own(s, start, [&](NodeId id) {
       if (!ifaces_[id].pending_posts.empty()) try_pending_posts(id);
-      routers_[id]->drain_consumption(now);
+      routers_[id].drain_consumption(now);
     });
   }
   if (ctx.work_qworms != 0) {
     sweep_own(s, start, [&](NodeId id) { service_injection(id, now); });
   }
   if (ctx.work_heads != 0) {
-    sweep_own(s, start, [&](NodeId id) { routers_[id]->allocate(now); });
+    sweep_own(s, start, [&](NodeId id) { routers_[id].allocate(now); });
   }
   if (parallel_replay_) replay_own_deliveries(now);
 
@@ -135,9 +135,9 @@ void Network::shard_main(int s) {
   progress_late_[static_cast<std::size_t>(s)].v.store(
       -1, std::memory_order_relaxed);
   for (const NodeId id : ctx.idle_checks) {
-    Router& r = *routers_[id];
-    if (r.scheduled_ && !node_has_work(id)) {
-      r.scheduled_ = false;
+    NodeWords& w = arena_.words(id);
+    if (w.scheduled && !node_has_work(id)) {
+      w.scheduled = false;
       const std::atomic_ref<std::uint64_t> word(
           sched_words_[static_cast<std::size_t>(id) >> 6]);
       word.fetch_and(~(1ull << (id & 63)), std::memory_order_relaxed);
@@ -247,7 +247,7 @@ void Network::shard_traverse_stage(int s, bool early, int start, Cycle now,
       const int id = y * W + x;
       if (id < slo || id >= shi) continue;  // seam row: other stage
       if (!full_sweep_ && !sched_bit_atomic(static_cast<NodeId>(id))) continue;
-      routers_[static_cast<std::size_t>(id)]->traverse(now);
+      routers_[static_cast<std::size_t>(id)].traverse(now);
       ++ctx.routers_traversed;
     }
     mine.store(k, std::memory_order_release);
@@ -448,7 +448,7 @@ void Network::rebalance_shards() {
       for (int d = 0; d < kNumLinkDirs; ++d) {
         c += heatmap_.hops(id, d);
       }
-      if (routers_[static_cast<std::size_t>(id)]->scheduled_) c += 64;
+      if (arena_.words(id).scheduled) c += 64;
     }
     cost[static_cast<std::size_t>(y)] = c;
   }
@@ -463,12 +463,12 @@ void Network::rebalance_shards() {
   }
   for (NodeId id = 0; id < mesh_.num_nodes(); ++id) {
     ShardCtx& c = shard_ctx_[plan_.shard_of[static_cast<std::size_t>(id)]];
+    const NodeWords& w = arena_.words(id);
     c.work_posts +=
         static_cast<std::int64_t>(ifaces_[id].pending_posts.size());
     c.work_qworms += ifaces_[id].inj_work;
-    c.work_cons += routers_[id]->cons_flits_;
-    c.work_heads +=
-        static_cast<std::int64_t>(routers_[id]->pending_heads_.size());
+    c.work_cons += w.cons_flits;
+    c.work_heads += std::popcount(w.pending);
   }
 }
 

@@ -1,6 +1,5 @@
 #include "noc/router.h"
 
-#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -8,66 +7,74 @@
 
 namespace mdw::noc {
 
-Router::Router(Network& net, NodeId id, const NocParams& p)
-    : net_(net), id_(id), params_(p), cons_(p.consumption_channels),
+Router::Router(Network& net, RouterArena& arena, NodeId id, const NocParams& p)
+    : net_(net), arena_(&arena), params_(&p), id_(id),
+      vhot_(arena.vc_hot(id)), vflit_(arena.vc_flits(id)),
+      chot_(arena.cons_hot(id)), cflit_(arena.cons_flits(id)),
+      words_(&arena.words(id)), vowner_(arena.vc_owner(id)),
+      cowner_(arena.cons_owner(id)), vmax_(arena.vmax()),
+      vc_cap_(p.vc_buffer_flits), cons_cap_(p.cons_buffer_flits),
+      cons_n_(p.consumption_channels),
+      vc_field_mask_((std::uint64_t{1} << vmax_) - 1),
       bank_(p.iack_entries) {
   for (int port = 0; port < kNumPorts; ++port) {
-    assert(num_vcs(port) < 32 && "routed_mask_ is a 32-bit map per port");
-    vcs_[port].resize(static_cast<std::size_t>(num_vcs(port)));
-    for (auto& v : vcs_[port]) v.buf.init(p.vc_buffer_flits);
+    assert(num_vcs(port) <= vmax_ && "arena slot stride covers every port");
   }
-  for (auto& ch : cons_) ch.buf.init(p.cons_buffer_flits);
 }
 
 std::pair<int, int> Router::vc_range(int port, VNet vnet) const {
-  const int per = port == static_cast<int>(Dir::Local) ? params_.inj_vcs_per_vnet
-                                                       : params_.vcs_per_vnet;
+  const int per = port == static_cast<int>(Dir::Local)
+                      ? params_->inj_vcs_per_vnet
+                      : params_->vcs_per_vnet;
   const int first = static_cast<int>(vnet) * per;
   return {first, first + per};
 }
 
 int Router::find_free_cons_channel() const {
-  for (std::size_t i = 0; i < cons_.size(); ++i)
-    if (!cons_[i].busy()) return static_cast<int>(i);
+  for (int i = 0; i < cons_n_; ++i)
+    if (!chot_[i].busy()) return i;
   return -1;
 }
 
 void Router::drain_consumption(Cycle now) {
-  if (cons_flits_ == 0) return;
-  for (auto& ch : cons_) {
-    if (ch.buf.empty()) continue;
-    if (ch.buf.front().arrival >= now) {
-      net_.ff_gate(ch.buf.front().arrival + 1);
+  if (words_->cons_flits == 0) return;
+  for (int c = 0; c < cons_n_; ++c) {
+    ConsHot& ch = chot_[c];
+    RingView ring = cons_ring(c);
+    if (ring.empty()) continue;
+    if (ring.front().arrival() >= now) {
+      net_.ff_gate(ring.front().arrival() + 1);
       continue;
     }
-    const Flit f = ch.buf.front();
-    ch.buf.pop_front();
+    const Flit f = ring.front();
+    ring.pop_front();
     net_.ff_note_acted();
-    --cons_flits_;
-    --active_work_;
+    --words_->cons_flits;
+    --words_->active_work;
     net_.on_cons_flit(id_, -1);
     net_.on_flit_removed();
     ++stats_.flits_consumed;
-    if (f.tail) {
+    if (f.tail()) {
       // Hand the channel's reference straight through to on_delivery: zero
       // refcount traffic per consumed worm (this ran once per consumed flit
       // when it was a shared_ptr copy), which also keeps the sharded
       // kernel's phase-1 drain free of refcount races on absorb copies.
-      const bool fin = ch.final_dest;
-      ch.final_dest = false;
-      net_.on_delivery(id_, std::move(ch.worm), fin, now);
+      const bool fin = (ch.flags & kConsFinal) != 0;
+      ch.flags = 0;
+      net_.on_delivery(id_, std::move(cowner_[c]), fin, now);
     }
   }
-  if (active_work_ == 0) net_.note_maybe_idle(id_);
+  if (words_->active_work == 0) net_.note_maybe_idle(id_);
 }
 
-bool Router::try_allocate_head(InputVc& v, Cycle now) {
-  assert(!v.buf.empty() && v.buf.front().head && !v.routed);
+bool Router::try_allocate_head(int port, int s, VcHot& v, Cycle now) {
+  (void)port;
+  assert(v.ring.size > 0 && vc_ring(s).front().head() && !v.routed());
   if (now < v.ready_at) {  // router pipeline delay
     net_.ff_gate(v.ready_at);
     return false;
   }
-  const WormPtr& w = v.owner;
+  const WormPtr& w = vowner_[s];
   assert(w != nullptr);
   assert(w->path[w->head_hop] == id_);
 
@@ -84,15 +91,16 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
     NodeId best = kInvalidNode;
     for (Dir dir : dirs) {
       const OutLink& link = out_[static_cast<int>(dir)];
-      auto [lo, hi] = link.nbr->vc_range(link.nbr_port, w->vnet);
+      auto [lo, hi] = vc_range(link.nbr_port, w->vnet);
       if (w->vc_class >= 0) {
         lo = lo + w->vc_class;
         hi = lo + 1;
       }
+      const VcHot* nh = link.nbr_vhot;
       int space = 0;
       for (int cand = lo; cand < hi; ++cand) {
-        const InputVc& dvc = link.nbr->vc(link.nbr_port, cand);
-        if (dvc.free()) space += params_.vc_buffer_flits;
+        if (nh[link.nbr_port * vmax_ + cand].free())
+          space += params_->vc_buffer_flits;
       }
       if (space > best_space) {
         best_space = space;
@@ -116,14 +124,15 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
     const NodeId next = w->path[w->head_hop + 1];
     out_port = static_cast<int>(net_.mesh().step_dir(id_, next));
     const OutLink& link = out_[out_port];
-    auto [lo, hi] = link.nbr->vc_range(link.nbr_port, w->vnet);
+    auto [lo, hi] = vc_range(link.nbr_port, w->vnet);
     if (w->vc_class >= 0) {
-      assert(w->vc_class < params_.vcs_per_vnet);
+      assert(w->vc_class < params_->vcs_per_vnet);
       lo = lo + w->vc_class;
       hi = lo + 1;
     }
+    const VcHot* nh = link.nbr_vhot;
     for (int cand = lo; cand < hi; ++cand) {
-      if (link.nbr->vc(link.nbr_port, cand).free()) {
+      if (nh[link.nbr_port * vmax_ + cand].free()) {
         out_vc = cand;
         break;
       }
@@ -136,9 +145,7 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
     // queue, so a momentarily full bank cannot deadlock the channel).
     assert(w->kind == WormKind::Gather && last_router);
     w->next_dest += 1;
-    v.routed = true;
-    v.drain_to_bank = true;
-    v.deposit_at_tail = true;
+    v.flags |= kVcRouted | kVcDrainToBank | kVcDepositAtTail;
     return true;
   }
 
@@ -176,8 +183,7 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
       }
       // Parked: worm drains into the bank.
       w->next_dest += 1;
-      v.routed = true;
-      v.drain_to_bank = true;
+      v.flags |= kVcRouted | kVcDrainToBank;
       net_.on_gather_deferred();
       if (net_.tracer()) {
         net_.trace_bank_occupancy(id_, bank_.entries_in_use(), now);
@@ -193,18 +199,20 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
       return false;
     }
     w->next_dest += 1;
-    v.routed = true;
+    v.flags |= kVcRouted;
     if (net_.tracer()) {
       net_.trace_bank_occupancy(id_, bank_.entries_in_use(), now);
     }
     if (parked.has_value()) {
       w->gathered += *parked;
-      v.out_port = out_port;
-      v.out_vc = out_vc;
-      OutLink& link = out_[out_port];
-      link.nbr->vc(link.nbr_port, out_vc).owner = w;
+      v.out_port = static_cast<std::int8_t>(out_port);
+      v.out_vc = static_cast<std::int8_t>(out_vc);
+      const OutLink& link = out_[out_port];
+      const int ds = link.nbr_port * vmax_ + out_vc;
+      arena_->vc_owner(link.nbr)[ds] = w;
+      link.nbr_vhot[ds].claimed = 1;
     } else {
-      v.drain_to_bank = true;
+      v.flags |= kVcDrainToBank;
       net_.on_gather_deferred();
     }
     return true;
@@ -247,151 +255,182 @@ bool Router::try_allocate_head(InputVc& v, Cycle now) {
   }
 
   // Commit.
-  v.routed = true;
-  v.final_here = last_router;
-  v.deliver_here = needs_cons;
+  v.flags |= kVcRouted;
+  if (last_router) v.flags |= kVcFinalHere;
   if (needs_cons) {
-    v.cons_ch = cons_ch;
-    cons_[cons_ch].worm = w;
-    cons_[cons_ch].final_dest = last_router;
+    v.flags |= kVcDeliverHere;
+    v.cons_ch = static_cast<std::int8_t>(cons_ch);
+    cowner_[cons_ch] = w;
+    chot_[cons_ch].flags =
+        static_cast<std::uint8_t>(kConsBusy | (last_router ? kConsFinal : 0));
   }
   if (!last_router) {
-    v.out_port = out_port;
-    v.out_vc = out_vc;
-    OutLink& link = out_[out_port];
-    link.nbr->vc(link.nbr_port, out_vc).owner = w;
+    v.out_port = static_cast<std::int8_t>(out_port);
+    v.out_vc = static_cast<std::int8_t>(out_vc);
+    const OutLink& link = out_[out_port];
+    const int ds = link.nbr_port * vmax_ + out_vc;
+    arena_->vc_owner(link.nbr)[ds] = w;
+    link.nbr_vhot[ds].claimed = 1;
   }
   if (is_dest) w->next_dest += 1;
   return true;
 }
 
 void Router::note_head_arrival(int port, int v) {
-  const auto key = static_cast<std::uint16_t>((port << 8) | v);
-  const auto it =
-      std::lower_bound(pending_heads_.begin(), pending_heads_.end(), key);
-  if (it == pending_heads_.end() || *it != key) {
-    pending_heads_.insert(it, key);
+  const std::uint64_t bit = std::uint64_t{1} << slot(port, v);
+  if ((words_->pending & bit) == 0) {
+    words_->pending |= bit;
     net_.on_pending_head(id_, 1);
   }
 }
 
 void Router::allocate(Cycle now) {
-  // The sorted pending-head list visits exactly the VCs the exhaustive
-  // (port-major, then VC-index) scan would have tried, in the same order.
-  for (std::size_t i = 0; i < pending_heads_.size();) {
-    const int port = pending_heads_[i] >> 8;
-    const int vi = pending_heads_[i] & 0xff;
-    InputVc& v = vcs_[port][vi];
-    assert(!v.routed && !v.buf.empty() && v.buf.front().head);
-    const Cycle arrival = v.buf.front().arrival;
-    if (arrival >= now) {
-      net_.ff_gate(arrival + 1);
-      ++i;
-      continue;
+  // Ascending bit scan of the pending word, port-major: exactly the VCs the
+  // exhaustive (port-major, then VC-index) scan would have tried, in the
+  // same order (the bit layout mirrors the old sorted (port << 8) | vc list).
+  // Bits are only cleared by this loop (on success), never set mid-phase, so
+  // the snapshot stays exact.  The snapshot also walks out from under the
+  // ports loop the moment its remaining bits run out — the common cases
+  // (no pending heads, or one on an early port) cost a word test, matching
+  // the old empty-vector early-out.
+  std::uint64_t snap = words_->pending;
+  for (int port = 0; snap != 0; ++port, snap >>= vmax_) {
+    std::uint64_t sub = snap & vc_field_mask_;
+    while (sub != 0) {
+      const int vi = std::countr_zero(sub);
+      sub &= sub - 1;
+      const int s = slot(port, vi);
+      VcHot& v = vhot_[s];
+      assert(!v.routed() && v.ring.size > 0 && vc_ring(s).front().head());
+      const Cycle arrival = vc_ring(s).front().arrival();
+      if (arrival >= now) {
+        net_.ff_gate(arrival + 1);
+        continue;
+      }
+      if (try_allocate_head(port, s, v, now)) {
+        net_.ff_note_acted();
+        words_->routed |= std::uint64_t{1} << s;
+        words_->ports_mask |= static_cast<std::uint8_t>(1u << port);
+        words_->pending &= ~(std::uint64_t{1} << s);
+        net_.on_pending_head(id_, -1);
+      }
+      // else: blocked on a resource or the pipeline gate, retry next cycle
+      // (the pending bit stays set).
     }
-    if (try_allocate_head(v, now)) {
-      net_.ff_note_acted();
-      routed_mask_[port] |= 1u << vi;
-      ports_mask_ |= 1u << port;
-      pending_heads_.erase(pending_heads_.begin() +
-                           static_cast<std::ptrdiff_t>(i));
-      net_.on_pending_head(id_, -1);
-      continue;
-    }
-    ++i;  // blocked on a resource or the pipeline gate: retry next cycle
   }
 }
 
-bool Router::try_move_flit(int port, int vidx, InputVc& v, Cycle now) {
+bool Router::try_move_flit(int port, int vidx, VcHot& v, Cycle now) {
   // Feasibility checks and the move itself in one pass, so the flit, output
   // link, and downstream VC are each loaded once (a separate can_move
   // predicate re-read all of them on the move).
-  assert(v.routed);
-  if (v.buf.empty()) return false;
-  if (v.buf.front().arrival >= now) {
-    net_.ff_gate(v.buf.front().arrival + 1);
+  assert(v.routed());
+  const int s = slot(port, vidx);
+  RingView ring = vc_ring(s);
+  if (ring.empty()) return false;
+  if (ring.front().arrival() >= now) {
+    net_.ff_gate(ring.front().arrival() + 1);
     return false;
   }
-  const Flit f = v.buf.front();
+  const Flit f = ring.front();
 
-  if (v.drain_to_bank) {
-    v.buf.pop_front();
+  if ((v.flags & kVcDrainToBank) != 0) {
+    ring.pop_front();
     net_.on_flit_removed();
-    --active_work_;
-    if (f.tail && v.deposit_at_tail) net_.on_gather_deposit(id_, v.owner);
-  } else if (v.final_here) {
-    auto& ch = cons_[v.cons_ch];
-    if (ch.buf.full()) return false;
-    v.buf.pop_front();
-    ch.buf.push_back(Flit{f.head, f.tail, now});
-    ++cons_flits_;
+    --words_->active_work;
+    if (f.tail() && (v.flags & kVcDepositAtTail) != 0) {
+      net_.on_gather_deposit(id_, vowner_[s]);
+    }
+  } else if ((v.flags & kVcFinalHere) != 0) {
+    RingView cring = cons_ring(v.cons_ch);
+    if (cring.full()) return false;
+    ring.pop_front();
+    cring.push_back(Flit{f.head(), f.tail(), now});
+    ++words_->cons_flits;
     net_.on_cons_flit(id_, 1);
     // flit stays resident (moved within this router): no live-flit change
   } else {
-    OutLink& link = out_[v.out_port];
-    if (link.used_cycle == now) return false;  // link bandwidth: 1 flit/cycle
-    InputVc& dvc = link.nbr->vc(link.nbr_port, v.out_vc);
-    if (dvc.buf.full()) return false;
-    if (v.deliver_here && cons_[v.cons_ch].buf.full()) return false;
-    link.used_cycle = now;
-    v.buf.pop_front();
-    dvc.buf.push_back(Flit{f.head, f.tail, now});
-    --active_work_;
-    ++link.nbr->active_work_;
-    net_.wake_router(link.nbr->id_);
-    if (f.head) {
-      v.owner->head_hop += 1;
-      dvc.ready_at = now + params_.router_delay;
-      link.nbr->note_head_arrival(link.nbr_port, v.out_vc);
+    Cycle& used = words_->link_used[v.out_port];
+    if (used == now) return false;  // link bandwidth: 1 flit/cycle
+    const OutLink& link = out_[v.out_port];
+    const int ds = link.nbr_port * vmax_ + v.out_vc;
+    VcHot& dvc = link.nbr_vhot[ds];
+    RingView dring(link.nbr_vflit + ds * vc_cap_, &dvc.ring, vc_cap_);
+    if (dring.full()) return false;
+    if ((v.flags & kVcDeliverHere) != 0 && cons_ring(v.cons_ch).full())
+      return false;
+    used = now;
+    ring.pop_front();
+    dring.push_back(Flit{f.head(), f.tail(), now});
+    --words_->active_work;
+    ++link.nbr_words->active_work;
+    net_.wake_router(link.nbr, *link.nbr_words);
+    if (f.head()) {
+      vowner_[s]->head_hop += 1;
+      dvc.ready_at = now + params_->router_delay;
+      // note_head_arrival inlined against the cached neighbour words (ds is
+      // already the neighbour's slot index).
+      const std::uint64_t bit = std::uint64_t{1} << ds;
+      if ((link.nbr_words->pending & bit) == 0) {
+        link.nbr_words->pending |= bit;
+        net_.on_pending_head(link.nbr, 1);
+      }
     }
     ++stats_.flits_forwarded;
-    net_.count_link_flit(id_, static_cast<Dir>(v.out_port));
-    if (v.deliver_here) {
-      auto& ch = cons_[v.cons_ch];
-      ch.buf.push_back(Flit{f.head, f.tail, now});
-      ++cons_flits_;
-      ++active_work_;
+    net_.count_link_flit(id_, static_cast<Dir>(static_cast<int>(v.out_port)));
+    if ((v.flags & kVcDeliverHere) != 0) {
+      RingView cring = cons_ring(v.cons_ch);
+      cring.push_back(Flit{f.head(), f.tail(), now});
+      ++words_->cons_flits;
+      ++words_->active_work;
       net_.on_cons_flit(id_, 1);
       net_.on_flit_copied();
-      if (f.tail) net_.on_absorb_delivery();
+      if (f.tail()) net_.on_absorb_delivery();
     }
   }
 
-  if (f.tail) {
+  if (f.tail()) {
     // Worm tail has left this VC: release it.
-    v.owner = nullptr;
-    v.reset_route();
-    routed_mask_[port] &= ~(1u << vidx);
-    if (routed_mask_[port] == 0) ports_mask_ &= ~(1u << port);
+    vowner_[s] = nullptr;
+    v.flags = 0;
+    v.claimed = 0;
+    v.out_port = v.out_vc = v.cons_ch = -1;
+    words_->routed &= ~(std::uint64_t{1} << s);
+    if (((words_->routed >> (port * vmax_)) & vc_field_mask_) == 0) {
+      words_->ports_mask &= static_cast<std::uint8_t>(~(1u << port));
+    }
   }
-  if (active_work_ == 0) net_.note_maybe_idle(id_);
+  if (words_->active_work == 0) net_.note_maybe_idle(id_);
   net_.ff_note_acted();
   return true;
 }
 
 void Router::traverse(Cycle now) {
-  if (active_work_ == 0) return;
-  if (ports_mask_ == 0) {  // flits present but none routed: no-op sweep
-    rr_port_ = rr_port_ + 1 == kNumPorts ? 0 : rr_port_ + 1;
+  NodeWords& w = *words_;
+  if (w.active_work == 0) return;
+  if (w.ports_mask == 0) {  // flits present but none routed: no-op sweep
+    w.rr_port = w.rr_port + 1 == kNumPorts ? 0 : w.rr_port + 1;
     return;
   }
   // Iterate only the ports holding a routed worm, rotated by the round-robin
-  // pointer — the same (rr_port_ + pi) mod kNumPorts visit order as a full
+  // pointer — the same (rr_port + pi) mod kNumPorts visit order as a full
   // port scan, with the (typically three or four) idle ports skipped.
-  const int pr = rr_port_;
+  const int pr = w.rr_port;
+  const std::uint32_t pmask = w.ports_mask;
   std::uint32_t prot =
-      pr == 0 ? ports_mask_
-              : ((ports_mask_ >> pr) | (ports_mask_ << (kNumPorts - pr))) &
+      pr == 0 ? pmask
+              : ((pmask >> pr) | (pmask << (kNumPorts - pr))) &
                     ((1u << kNumPorts) - 1);
   while (prot != 0) {
     const int poff = std::countr_zero(prot);
     prot &= prot - 1;
     int port = pr + poff;
     if (port >= kNumPorts) port -= kNumPorts;
-    const std::uint32_t mask = routed_mask_[port];
+    const auto mask =
+        static_cast<std::uint32_t>((w.routed >> (port * vmax_)) & vc_field_mask_);
     if (mask == 0) continue;  // tail left during this sweep
     const int nv = num_vcs(port);
-    const int base = rr_vc_[port];
+    const int base = w.rr_vc[port];
     // Only routed VCs can move a flit; visiting their mask bits rotated by
     // the round-robin pointer preserves the exact arbitration order of the
     // exhaustive VC scan while skipping the (common) empty VCs entirely.
@@ -402,17 +441,17 @@ void Router::traverse(Cycle now) {
       const int off = std::countr_zero(rot);
       int vidx = base + off;
       if (vidx >= nv) vidx -= nv;
-      InputVc& v = vcs_[port][vidx];
+      VcHot& v = vhot_[slot(port, vidx)];
       if (try_move_flit(port, vidx, v, now)) {
-        rr_vc_[port] = vidx + 1 == nv ? 0 : vidx + 1;
+        w.rr_vc[port] = static_cast<std::uint8_t>(vidx + 1 == nv ? 0 : vidx + 1);
         break;  // one flit per input port per cycle
       }
       rot &= rot - 1;
     }
   }
-  rr_port_ = rr_port_ + 1 == kNumPorts ? 0 : rr_port_ + 1;
+  w.rr_port = w.rr_port + 1 == kNumPorts ? 0 : w.rr_port + 1;
 }
 
-bool Router::busy() const { return active_work_ > 0; }
+bool Router::busy() const { return words_->active_work > 0; }
 
 } // namespace mdw::noc

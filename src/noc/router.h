@@ -17,12 +17,20 @@
 //
 // Flits become visible to the next pipeline stage one cycle after they move
 // (arrival-cycle gating), so a flit advances at most one hop per cycle.
+//
+// Router is a thin VIEW: all hot state (VC records, flit rings, consumption
+// channels, the per-node scheduling/arbitration words) lives in the
+// Network-owned RouterArena (arena.h), reached through span pointers set at
+// construction.  The router object itself keeps only cold state: the i-ack
+// bank, stats, and the output-link topology.  Downstream accesses in the
+// phase code are index arithmetic into the arena — no pointer chase through
+// neighbour Router objects.
 #pragma once
 
 #include <array>
-#include <functional>
-#include <vector>
+#include <utility>
 
+#include "noc/arena.h"
 #include "noc/flit_ring.h"
 #include "noc/geometry.h"
 #include "noc/iack_buffer.h"
@@ -72,39 +80,6 @@ struct NocParams {
   [[nodiscard]] int inj_vcs_total() const { return kNumVNets * inj_vcs_per_vnet; }
 };
 
-class Router;
-
-/// One directional inter-router or injection channel endpoint.  The flit
-/// buffer is a fixed-depth ring sized from NocParams::vc_buffer_flits at
-/// router construction; nothing here allocates in steady state.
-struct InputVc {
-  FlitRing buf;
-  WormPtr owner;            // worm holding this VC (claim -> tail departure)
-  bool routed = false;      // head processed at this router
-  Cycle ready_at = 0;       // header pipeline gate
-  int out_port = -1;        // allocated output direction (0..3), -1 if none
-  int out_vc = -1;
-  int cons_ch = -1;         // allocated consumption channel, -1 if none
-  bool drain_to_bank = false;  // deferred gather: flits sink into i-ack bank
-  bool deposit_at_tail = false;  // GatherDeposit: post count when tail sinks
-  bool deliver_here = false;   // copy flits into the consumption channel
-  bool final_here = false;     // worm terminates at this router
-
-  [[nodiscard]] bool free() const { return owner == nullptr && buf.empty(); }
-  void reset_route() {
-    routed = false;
-    out_port = out_vc = cons_ch = -1;
-    drain_to_bank = deposit_at_tail = deliver_here = final_here = false;
-  }
-};
-
-struct ConsumptionChannel {
-  WormPtr worm;             // worm being consumed, nullptr when free
-  bool final_dest = false;  // consuming at the worm's final destination?
-  FlitRing buf;             // depth NocParams::cons_buffer_flits
-  [[nodiscard]] bool busy() const { return worm != nullptr; }
-};
-
 /// Aggregate activity counters, kept by each router.
 struct RouterStats {
   std::uint64_t flits_forwarded = 0;   // flits sent over an output link
@@ -118,7 +93,10 @@ class Network;
 
 class Router {
 public:
-  Router(Network& net, NodeId id, const NocParams& p);
+  /// `arena` must already be initialized for this network's parameters; the
+  /// router captures its spans for node `id`.
+  Router(Network& net, RouterArena& arena, NodeId id, const NocParams& p);
+  Router(Router&&) noexcept = default;
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] IAckBufferBank& bank() { return bank_; }
@@ -127,8 +105,9 @@ public:
   /// Phase 1: drain consumption channels (<=1 flit per channel per cycle).
   void drain_consumption(Cycle now);
   /// Phase 2: route + resource allocation for heads at VC fronts.  Only VCs
-  /// on the pending-head list are visited; heads enqueue themselves on
-  /// arrival and leave on successful allocation.
+  /// with a set bit in the per-node pending word are visited (heads set their
+  /// bit on arrival, cleared on successful allocation); the ascending bit
+  /// scan is port-major, the exact order of the exhaustive port/VC scan.
   void allocate(Cycle now);
   /// Phase 3: switch traversal; moves flits out of input VCs.
   void traverse(Cycle now);
@@ -140,64 +119,65 @@ private:
   friend class Network;
 
   struct OutLink {
-    Router* nbr = nullptr;
+    NodeId nbr = kInvalidNode;
     int nbr_port = -1;  // input port index at the neighbour
-    /// Cycle stamp of the last flit sent over this link (physical-channel
-    /// bandwidth gate).  Comparing against `now` replaces a per-cycle
-    /// used-this-cycle flag reset across all links of all routers.
-    Cycle used_cycle = ~Cycle{0};
+    // Cached arena spans of the neighbour (set once at wiring): the storage
+    // stays in the arena, these just skip the node-stride multiplies on the
+    // traverse/allocate hot paths.
+    VcHot* nbr_vhot = nullptr;
+    Flit* nbr_vflit = nullptr;
+    NodeWords* nbr_words = nullptr;
   };
 
-  [[nodiscard]] InputVc& vc(int port, int v) { return vcs_[port][v]; }
+  [[nodiscard]] int slot(int port, int v) const { return port * vmax_ + v; }
+  [[nodiscard]] VcHot& vc(int port, int v) { return vhot_[slot(port, v)]; }
+  [[nodiscard]] WormPtr& vc_owner(int port, int v) {
+    return vowner_[slot(port, v)];
+  }
+  [[nodiscard]] RingView vc_ring(int s) {
+    return RingView(vflit_ + s * vc_cap_, &vhot_[s].ring, vc_cap_);
+  }
+  [[nodiscard]] RingView cons_ring(int c) {
+    return RingView(cflit_ + c * cons_cap_, &chot_[c].ring, cons_cap_);
+  }
   [[nodiscard]] int num_vcs(int port) const {
-    return port == static_cast<int>(Dir::Local) ? params_.inj_vcs_total()
-                                                : params_.vcs_total();
+    return port == static_cast<int>(Dir::Local) ? params_->inj_vcs_total()
+                                                : params_->vcs_total();
   }
   /// VC-index range [first, last) usable by worms of `vnet` on `port`.
+  /// Parameter-derived only, so it answers for any router in the network.
   [[nodiscard]] std::pair<int, int> vc_range(int port, VNet vnet) const;
 
-  bool try_allocate_head(InputVc& v, Cycle now);
+  bool try_allocate_head(int port, int s, VcHot& v, Cycle now);
   /// Move one flit out of routed VC `v` if its resources permit this cycle;
   /// returns whether a flit moved (checks and move fused in one pass).
-  bool try_move_flit(int port, int vidx, InputVc& v, Cycle now);
+  bool try_move_flit(int port, int vidx, VcHot& v, Cycle now);
   int find_free_cons_channel() const;
 
-  /// A head flit was pushed into vcs_[port][v]: register it for allocation.
-  /// The list is kept sorted by (port, vc) so allocation visits heads in
-  /// exactly the order the exhaustive port/VC scan used to.
+  /// A head flit was pushed into (port, v) here: register it for allocation
+  /// by setting its pending-word bit (bit order == the old sorted list).
   void note_head_arrival(int port, int v);
 
   Network& net_;
+  RouterArena* arena_;
+  const NocParams* params_;
   NodeId id_;
-  NocParams params_;
-  // vcs_[port][vc]; ports 0..3 = N,S,E,W links, port 4 = Local (injection).
-  std::array<std::vector<InputVc>, kNumPorts> vcs_;
+  // Arena spans for this node (see arena.h for the layout).
+  VcHot* vhot_;
+  Flit* vflit_;
+  ConsHot* chot_;
+  Flit* cflit_;
+  NodeWords* words_;
+  WormPtr* vowner_;
+  WormPtr* cowner_;
+  int vmax_;
+  int vc_cap_;
+  int cons_cap_;
+  int cons_n_;
+  std::uint64_t vc_field_mask_;  // low vmax_ bits: one port's slot field
   std::array<OutLink, kNumLinkDirs> out_;
-  std::vector<ConsumptionChannel> cons_;
   IAckBufferBank bank_;
   RouterStats stats_;
-  /// Flits resident in this router (input VCs + consumption channels); used
-  /// to skip idle routers cheaply.
-  int active_work_ = 0;
-  /// Flits buffered in the consumption channels only: lets drain_consumption
-  /// skip the channel scan on the (common) cycles where the router has
-  /// in-transit flits but nothing to hand to the node.
-  int cons_flits_ = 0;
-  /// On the Network's active-router worklist (woken by injection, incoming
-  /// flits, or pending i-ack posts; descheduled once fully drained).
-  bool scheduled_ = false;
-  /// Unrouted head flits awaiting allocation, packed (port << 8) | vc,
-  /// sorted ascending.
-  std::vector<std::uint16_t> pending_heads_;
-  /// Bit v set iff vcs_[port][v] is routed (holds a worm committed through
-  /// allocation).  Traversal scans only these bits — in round-robin order —
-  /// instead of touching every VC's buffer state each cycle.
-  std::array<std::uint32_t, kNumPorts> routed_mask_{};
-  /// Bit p set iff routed_mask_[p] != 0: traversal iterates only the ports
-  /// that can possibly move a flit (typically one or two of the five).
-  std::uint32_t ports_mask_ = 0;
-  int rr_port_ = 0;  // round-robin pointers
-  std::array<int, kNumPorts> rr_vc_{};
 };
 
 } // namespace mdw::noc

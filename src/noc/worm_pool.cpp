@@ -50,17 +50,20 @@ void WormPool::recycle(Worm* w) noexcept {
 }
 
 void WormPool::drain_foreign() noexcept {
-  std::vector<Worm*> grabbed;
+  // Swap against a persistent scratch buffer instead of a fresh vector:
+  // both sides keep their high-water capacity, so a warm pool drains
+  // without touching the heap (pinned by test_alloc_guard).
   {
     const std::lock_guard<std::mutex> lock(foreign_mu_);
-    grabbed.swap(foreign_);
+    foreign_scratch_.swap(foreign_);
     foreign_count_.store(0, std::memory_order_relaxed);
   }
-  for (Worm* w : grabbed) {
+  for (Worm* w : foreign_scratch_) {
     w->reset_for_reuse();
     --outstanding_;
     free_.push_back(w);
   }
+  foreign_scratch_.clear();
 }
 
 WormPool& WormPool::local() {

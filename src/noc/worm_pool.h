@@ -73,6 +73,9 @@ private:
   std::vector<Worm*> free_;
   std::mutex foreign_mu_;
   std::vector<Worm*> foreign_;        // released off-thread, not yet reset
+  std::vector<Worm*> foreign_scratch_;  // drain_foreign swap buffer; keeps
+                                        // high-water capacity so steady-state
+                                        // drains never allocate
   std::atomic<std::size_t> foreign_count_{0};
   std::int64_t outstanding_ = 0;
   std::uint64_t acquired_ = 0;

@@ -1,0 +1,46 @@
+// Allocation-count test hook backing the "no allocation in steady state"
+// claims (DESIGN.md sections 11 and 17).
+//
+// alloc_guard.cpp replaces the global operator new/delete with
+// malloc-forwarding versions that bump a process-wide counter.  The
+// replacement is installed ONLY in binaries that link that translation unit
+// (static-library semantics: the object file is pulled in because it defines
+// alloc_guard_new_calls, which only test code references), so production
+// binaries keep the default allocator.
+//
+// Usage:
+//   sim::AllocGuard guard;
+//   ... steady-state tick window ...
+//   EXPECT_EQ(guard.delta(), 0u);
+#pragma once
+
+#include <cstdint>
+
+namespace mdw::sim {
+
+/// Global operator-new invocations since process start (all forms: scalar,
+/// array, aligned).  Monotonic; thread-safe (relaxed atomic).
+[[nodiscard]] std::uint64_t alloc_guard_new_calls();
+
+/// Debug aid: while enabled, every counted allocation prints a backtrace to
+/// stderr (signal-unsafe, test diagnostics only).
+void alloc_guard_trace(bool on);
+
+/// False when the counting allocator is compiled out (ASan/TSan/MSan builds
+/// install their own interceptors); guard tests skip themselves then.
+[[nodiscard]] bool alloc_guard_active();
+
+/// Scope marker: counts operator-new calls since its construction.
+class AllocGuard {
+public:
+  AllocGuard() : start_(alloc_guard_new_calls()) {}
+  /// Allocations observed since construction.
+  [[nodiscard]] std::uint64_t delta() const {
+    return alloc_guard_new_calls() - start_;
+  }
+
+private:
+  std::uint64_t start_;
+};
+
+} // namespace mdw::sim

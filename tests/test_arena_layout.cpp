@@ -1,0 +1,154 @@
+// RouterArena layout pins (ISSUE 10 satellite; DESIGN.md section 17).
+//
+// The sharded kernel's no-false-sharing guarantee rests on one invariant:
+// every arena section has a per-node stride that is a multiple of 64 bytes
+// and a section base offset that is a multiple of 64 bytes, so ANY
+// contiguous node range [lo, hi) — i.e. any whole-row strip of any shard
+// plan, equal-split or rebalanced — maps to cache-line-aligned byte ranges
+// in every section.  These tests recompute layouts and shard plans for the
+// mesh shapes the benchmarks exercise (square, non-square, 64x64) and check
+// the boundary arithmetic directly, with no Network construction.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "noc/arena.h"
+#include "noc/geometry.h"
+#include "noc/router.h"
+#include "noc/shard_plan.h"
+
+namespace mdw::noc {
+namespace {
+
+struct Section {
+  const char* name;
+  std::size_t off;
+  std::size_t stride;
+};
+
+std::vector<Section> sections(const RouterArena::Layout& l) {
+  return {
+      {"words", l.words_off, l.words_stride},
+      {"vc_hot", l.vc_hot_off, l.vc_hot_stride},
+      {"vc_flit", l.vc_flit_off, l.vc_flit_stride},
+      {"cons_hot", l.cons_hot_off, l.cons_hot_stride},
+      {"cons_flit", l.cons_flit_off, l.cons_flit_stride},
+  };
+}
+
+RouterArena::Layout layout_for(const MeshShape& mesh, const NocParams& p) {
+  return RouterArena::compute_layout(mesh.num_nodes(), p.vcs_total(),
+                                     p.inj_vcs_total(), p.vc_buffer_flits,
+                                     p.consumption_channels,
+                                     p.cons_buffer_flits);
+}
+
+/// Every strip boundary of `plan` must land on a 64-byte-aligned offset in
+/// every arena section.
+void expect_strips_aligned(const RouterArena::Layout& l, const ShardPlan& plan,
+                           const char* what) {
+  for (const Section& s : sections(l)) {
+    EXPECT_EQ(s.off % 64, 0u) << what << ": section " << s.name;
+    EXPECT_EQ(s.stride % 64, 0u) << what << ": section " << s.name;
+    for (const ShardPlan::Range& r : plan.ranges) {
+      const std::size_t lo_off =
+          s.off + static_cast<std::size_t>(r.lo) * s.stride;
+      const std::size_t hi_off =
+          s.off + static_cast<std::size_t>(r.hi) * s.stride;
+      EXPECT_EQ(lo_off % 64, 0u)
+          << what << ": section " << s.name << " strip lo=" << r.lo;
+      EXPECT_EQ(hi_off % 64, 0u)
+          << what << ": section " << s.name << " strip hi=" << r.hi;
+    }
+  }
+}
+
+TEST(ArenaLayout, NodeWordsIsOneCacheLine) {
+  EXPECT_EQ(sizeof(NodeWords), 64u);
+  EXPECT_EQ(alignof(NodeWords), 64u);
+}
+
+TEST(ArenaLayout, SectionsCoverArenaWithoutOverlap) {
+  const NocParams p;
+  const MeshShape mesh(16, 16);
+  const RouterArena::Layout l = layout_for(mesh, p);
+  const auto n = static_cast<std::size_t>(mesh.num_nodes());
+  const auto secs = sections(l);
+  // Ascending, end-to-end: each section starts where the previous one ends.
+  std::size_t expect_off = 0;
+  for (const Section& s : secs) {
+    EXPECT_EQ(s.off, expect_off) << "section " << s.name;
+    expect_off = s.off + n * s.stride;
+  }
+  EXPECT_EQ(l.total_bytes, expect_off);
+  // Strides hold the natural per-node payload.
+  EXPECT_GE(l.vc_hot_stride, static_cast<std::size_t>(l.slots) * sizeof(VcHot));
+  EXPECT_GE(l.vc_flit_stride, static_cast<std::size_t>(l.slots) *
+                                  static_cast<std::size_t>(l.vc_cap) *
+                                  sizeof(Flit));
+  EXPECT_GE(l.cons_hot_stride,
+            static_cast<std::size_t>(l.cons_n) * sizeof(ConsHot));
+  EXPECT_GE(l.cons_flit_stride, static_cast<std::size_t>(l.cons_n) *
+                                    static_cast<std::size_t>(l.cons_cap) *
+                                    sizeof(Flit));
+}
+
+TEST(ArenaLayout, StripBoundariesCacheLineAlignedAcrossMeshesAndShards) {
+  const NocParams params;
+  const struct {
+    int w, h;
+  } meshes[] = {{16, 16}, {33, 17}, {64, 64}};
+  for (const auto& m : meshes) {
+    const MeshShape mesh(m.w, m.h);
+    const RouterArena::Layout l = layout_for(mesh, params);
+    for (int shards : {1, 2, 3, 4, 8}) {
+      const ShardPlan plan = compute_shard_plan(mesh, shards);
+      ASSERT_EQ(plan.ranges.back().hi, mesh.num_nodes());
+      expect_strips_aligned(l, plan, "equal-split");
+    }
+  }
+}
+
+TEST(ArenaLayout, RebalancedStripBoundariesStayAligned) {
+  // Skewed row costs push the DP balancer's boundaries off the equal-split
+  // rows; alignment must hold for those plans too — it depends only on the
+  // stride arithmetic, never on where the rows land.
+  const NocParams params;
+  const struct {
+    int w, h;
+  } meshes[] = {{16, 16}, {33, 17}, {64, 64}};
+  for (const auto& m : meshes) {
+    const MeshShape mesh(m.w, m.h);
+    const RouterArena::Layout l = layout_for(mesh, params);
+    std::vector<std::uint64_t> cost(static_cast<std::size_t>(m.h));
+    for (int y = 0; y < m.h; ++y) {
+      // Quadratic skew: the top rows are ~h^2 times hotter than the bottom.
+      cost[static_cast<std::size_t>(y)] =
+          static_cast<std::uint64_t>(y + 1) * static_cast<std::uint64_t>(y + 1);
+    }
+    for (int shards : {2, 3, 4, 8}) {
+      const ShardPlan plan = compute_shard_plan(mesh, shards, cost);
+      ASSERT_EQ(plan.ranges.back().hi, mesh.num_nodes());
+      expect_strips_aligned(l, plan, "rebalanced");
+    }
+  }
+}
+
+TEST(ArenaLayout, WiderBufferConfigsKeepAlignment) {
+  // Bigger rings and more consumption channels change every stride; the
+  // round-to-64 rule keeps the invariant independent of the configuration.
+  NocParams p;
+  p.vc_buffer_flits = 7;       // odd ring depth: worst case for padding
+  p.consumption_channels = 3;
+  p.cons_buffer_flits = 11;
+  const MeshShape mesh(33, 17);
+  const RouterArena::Layout l = layout_for(mesh, p);
+  for (int shards : {2, 3, 8}) {
+    expect_strips_aligned(l, compute_shard_plan(mesh, shards), "wide-config");
+  }
+}
+
+} // namespace
+} // namespace mdw::noc

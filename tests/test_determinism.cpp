@@ -236,6 +236,40 @@ TEST(Determinism, ShardCountInvariance) {
   }
 }
 
+TEST(Determinism, SoAArenaGoldensAcrossKernelConfigs) {
+  // ISSUE 10: the SoA hot-state arena relocated every router's VC/ring/
+  // consumption state into one flat allocation and rewrote the allocate/
+  // traverse scans as bitmap-word walks.  The move is pure layout: each
+  // kernel configuration — every shard count, rebalanced strip plans,
+  // fast-forward on and off — must still land EXACTLY on the pre-arena
+  // golden fingerprints, not merely agree with a same-binary sequential run
+  // (which would also pass if the port broke all configs identically).
+  const struct {
+    core::Scheme scheme;
+    Fingerprint golden;
+  } pins[] = {
+      {core::Scheme::UiUa, {104, 104, 0, 9600, 0, 0, 4, 880, 3016, 6040}},
+      {core::Scheme::EcCmHg, {90, 80, 7, 9140, 1, 10, 4, 764, 2542, 5924}},
+      {core::Scheme::WfScSg, {66, 66, 20, 9559, 0, 0, 4, 883, 2236, 6043}},
+  };
+  for (const auto& pin : pins) {
+    for (int shards : {1, 2, 4, 8}) {
+      EXPECT_EQ(run_workload(pin.scheme, /*full_sweep=*/true, 42, shards,
+                             /*fast_forward=*/true, /*rebalance=*/true),
+                pin.golden)
+          << "scheme " << core::scheme_name(pin.scheme) << " shards=" << shards
+          << " (rebalanced)";
+    }
+    for (int shards : {1, 4}) {
+      EXPECT_EQ(run_workload(pin.scheme, /*full_sweep=*/true, 42, shards,
+                             /*fast_forward=*/false),
+                pin.golden)
+          << "scheme " << core::scheme_name(pin.scheme) << " shards=" << shards
+          << " (no fast-forward)";
+    }
+  }
+}
+
 TEST(Determinism, FastForwardInvariance) {
   // Quiescence fast-forward (jumping simulated time across gap cycles where
   // no router can act) is a pure scheduling optimization: with it disabled

@@ -108,24 +108,26 @@ TEST(SmallVec, CopyAndMoveSemantics) {
   EXPECT_TRUE(a.empty());
 }
 
-TEST(FlitRing, WrapAroundPreservesFifoOrder) {
-  FlitRing r;
-  r.init(3);
+TEST(RingView, WrapAroundPreservesFifoOrder) {
+  Flit slab[3];
+  RingIdx idx;
+  RingView r(slab, &idx, 3);
   // Cycle enough flits through a 3-deep ring to wrap several times.
   Cycle next_in = 0, next_out = 0;
   for (int step = 0; step < 20; ++step) {
     while (!r.full()) r.push_back(Flit{false, false, next_in++});
     while (!r.empty()) {
-      EXPECT_EQ(r.front().arrival, next_out++);
+      EXPECT_EQ(r.front().arrival(), next_out++);
       r.pop_front();
     }
   }
   EXPECT_EQ(next_out, next_in);
 }
 
-TEST(FlitRing, FullAndEmptyBoundaries) {
-  FlitRing r;
-  r.init(2);
+TEST(RingView, FullAndEmptyBoundaries) {
+  Flit slab[2];
+  RingIdx idx;
+  RingView r(slab, &idx, 2);
   EXPECT_TRUE(r.empty());
   EXPECT_FALSE(r.full());
   r.push_back(Flit{true, false, 1});
@@ -134,24 +136,31 @@ TEST(FlitRing, FullAndEmptyBoundaries) {
   r.push_back(Flit{false, true, 2});
   EXPECT_TRUE(r.full());
   EXPECT_EQ(r.size(), 2);
-  EXPECT_TRUE(r.front().head);
+  EXPECT_TRUE(r.front().head());
   r.pop_front();
-  EXPECT_TRUE(r.front().tail);
+  EXPECT_TRUE(r.front().tail());
   r.pop_front();
   EXPECT_TRUE(r.empty());
 }
 
-TEST(FlitRing, DeepConfigsUseHeapStorage) {
-  FlitRing r;
-  r.init(FlitRing::kInlineFlits * 2);
-  for (int i = 0; i < FlitRing::kInlineFlits * 2; ++i) {
-    r.push_back(Flit{false, false, static_cast<Cycle>(i)});
+TEST(RingView, OccupancySharedThroughExternalIndices) {
+  // Two views over the same slab/indices see one ring: the arena constructs
+  // views on demand, so the state must live entirely in (slab, RingIdx).
+  Flit slab[4];
+  RingIdx idx;
+  {
+    RingView w(slab, &idx, 4);
+    for (int i = 0; i < 3; ++i) {
+      w.push_back(Flit{false, false, static_cast<Cycle>(i)});
+    }
   }
-  EXPECT_TRUE(r.full());
-  for (int i = 0; i < FlitRing::kInlineFlits * 2; ++i) {
-    EXPECT_EQ(r.front().arrival, static_cast<Cycle>(i));
+  RingView r(slab, &idx, 4);
+  EXPECT_EQ(r.size(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.front().arrival(), static_cast<Cycle>(i));
     r.pop_front();
   }
+  EXPECT_TRUE(r.empty());
 }
 
 TEST(RingQueue, GrowsAcrossWrapBoundary) {
